@@ -1,0 +1,168 @@
+// Ablations for the design choices DESIGN.md calls out (§V-F of the paper):
+//   A. σ — throughput vs burstiness tension (the core design dial).
+//   B. multiplier step gain and interval τ — "adapting quickly but poorly"
+//      vs "optimally but slowly".
+//   C. listener-estimate quality — perfect vs thinned pings vs existence.
+//   D. capture (EconCast-C) vs non-capture (EconCast-NC).
+//   E. energy guard on/off (physical storage vs the idealized model).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "econcast/simulation.h"
+#include "gibbs/burstiness.h"
+#include "gibbs/p4_solver.h"
+#include "oracle/clique_oracle.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace econcast;
+
+const model::NodeSet& paper_nodes() {
+  static const model::NodeSet nodes =
+      model::homogeneous(5, 10.0, 500.0, 500.0);
+  return nodes;
+}
+
+proto::SimResult run(const proto::SimConfig& cfg) {
+  proto::Simulation sim(paper_nodes(), model::Topology::clique(5), cfg);
+  return sim.run();
+}
+
+proto::SimConfig base_cfg(double duration) {
+  proto::SimConfig cfg;
+  cfg.sigma = 0.5;
+  cfg.duration = duration;
+  cfg.warmup = duration / 3.0;
+  cfg.seed = 8080;
+  cfg.energy_guard = true;
+  cfg.initial_energy = 5e5;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long scale = bench::knob(argc, argv, 3);
+  const double dur = 1e6 * static_cast<double>(scale);
+  bench::banner("Ablations", "design-choice sweeps (N=5, rho=10uW, L=X=500uW)");
+  const double t_star = oracle::groupput(paper_nodes()).throughput;
+
+  {  // A: sigma dial.
+    util::Table t({"sigma", "T^s/T*", "analytic burst", "p99 latency s"});
+    for (const double sigma : {1.0, 0.75, 0.5, 0.35, 0.25}) {
+      const auto p4 =
+          gibbs::solve_p4(paper_nodes(), model::Mode::kGroupput, sigma);
+      proto::SimConfig cfg = base_cfg(dur);
+      cfg.sigma = sigma;
+      auto r = run(cfg);
+      t.add_row();
+      t.add_cell(sigma, 2);
+      t.add_cell(p4.throughput / t_star, 4);
+      t.add_cell(util::format_sci(gibbs::average_burst_length(
+          paper_nodes(), model::Mode::kGroupput, sigma)));
+      t.add_cell(r.latencies.count() > 10
+                     ? util::format_double(
+                           r.latencies.percentile(0.99) * 1e-3, 1)
+                     : std::string("-"));
+    }
+    t.print(std::cout, "A. sigma: throughput vs burstiness vs latency");
+    std::printf("\n");
+  }
+
+  {  // B: multiplier step gain x interval.
+    util::Table t({"step gain", "tau", "T~/T^s", "power err %"});
+    const auto p4 =
+        gibbs::solve_p4(paper_nodes(), model::Mode::kGroupput, 0.5);
+    for (const double gain : {0.002, 0.02, 0.2}) {
+      for (const double tau : {10.0, 50.0, 500.0}) {
+        proto::SimConfig cfg = base_cfg(dur);
+        cfg.auto_step_gain = gain;
+        cfg.multiplier.tau = tau;
+        const auto r = run(cfg);
+        double power = 0.0;
+        for (const double p : r.avg_power) power += p;
+        power /= 5.0;
+        t.add_row();
+        t.add_cell(gain, 3);
+        t.add_cell(tau, 0);
+        t.add_cell(r.groupput / p4.throughput, 3);
+        t.add_cell(100.0 * (power - 10.0) / 10.0, 2);
+      }
+    }
+    t.print(std::cout,
+            "B. adaptation: step gain / interval (quick-but-poor vs "
+            "slow-but-optimal, SV-F)");
+    std::printf("\n");
+  }
+
+  {  // C: estimator quality.
+    util::Table t({"estimator", "T~ groupput", "vs perfect"});
+    double perfect_throughput = 0.0;
+    struct Case {
+      const char* name;
+      proto::EstimatorConfig est;
+    };
+    proto::EstimatorConfig thin90, thin50, exist;
+    thin90.kind = proto::EstimatorKind::kBinomialThinning;
+    thin90.detect_prob = 0.9;
+    thin50.kind = proto::EstimatorKind::kBinomialThinning;
+    thin50.detect_prob = 0.5;
+    exist.kind = proto::EstimatorKind::kExistenceOnly;
+    const Case cases[] = {{"perfect", {}},
+                          {"ping thinning p=0.9", thin90},
+                          {"ping thinning p=0.5", thin50},
+                          {"existence only", exist}};
+    for (const auto& c : cases) {
+      proto::SimConfig cfg = base_cfg(dur);
+      cfg.estimator = c.est;
+      const auto r = run(cfg);
+      if (perfect_throughput == 0.0) perfect_throughput = r.groupput;
+      t.add_row();
+      t.add_cell(c.name);
+      t.add_cell(r.groupput, 5);
+      t.add_cell(r.groupput / perfect_throughput, 3);
+    }
+    t.print(std::cout, "C. listener-estimate quality (SV-C claim)");
+    std::printf("\n");
+  }
+
+  {  // D: capture vs non-capture.
+    util::Table t({"variant", "T~ groupput", "mean burst", "events"});
+    for (const proto::Variant v :
+         {proto::Variant::kCapture, proto::Variant::kNonCapture}) {
+      proto::SimConfig cfg = base_cfg(dur);
+      cfg.variant = v;
+      const auto r = run(cfg);
+      t.add_row();
+      t.add_cell(proto::to_string(v));
+      t.add_cell(r.groupput, 5);
+      t.add_cell(r.burst_lengths.mean(), 2);
+      t.add_cell(static_cast<std::int64_t>(r.events_processed));
+    }
+    t.print(std::cout, "D. EconCast-C vs EconCast-NC (same stationary law)");
+    std::printf("\n");
+  }
+
+  {  // E: energy guard.
+    util::Table t({"guard", "T~ groupput", "max burst", "power uW"});
+    for (const bool guard : {false, true}) {
+      proto::SimConfig cfg = base_cfg(dur);
+      cfg.sigma = 0.25;  // where unbounded storage hurts
+      cfg.energy_guard = guard;
+      const auto r = run(cfg);
+      double power = 0.0;
+      for (const double p : r.avg_power) power += p;
+      t.add_row();
+      t.add_cell(guard ? "on" : "off");
+      t.add_cell(r.groupput, 5);
+      t.add_cell(util::format_sci(r.burst_lengths.max()));
+      t.add_cell(power / 5.0, 2);
+    }
+    t.print(std::cout,
+            "E. energy guard at sigma=0.25 (physical storage truncates "
+            "giant captures)");
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared helpers for the benchmark harnesses. Every bench binary regenerates
+// one table or figure of the paper and prints (a) the measured rows and (b)
+// a `paper:` reference line with the values/claims the paper states, so the
+// reproduction can be eyeballed in one pass.
+#ifndef ECONCAST_BENCH_BENCH_COMMON_H
+#define ECONCAST_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace econcast::bench {
+
+/// Standard banner: what is being reproduced and from where.
+inline void banner(const char* experiment, const char* description) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", experiment, description);
+  std::printf("(Chen, Ghaderi, Rubenstein, Zussman, CoNEXT'16 / arXiv:1610.04203)\n");
+  std::printf("================================================================\n");
+}
+
+/// Reads an integer knob from argv ("--samples=N" style positional override)
+/// falling back to `def`. Benches accept a single optional positional arg to
+/// scale their workload.
+inline long knob(int argc, char** argv, long def) {
+  if (argc > 1) {
+    const long v = std::atol(argv[1]);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+}  // namespace econcast::bench
+
+#endif  // ECONCAST_BENCH_BENCH_COMMON_H

@@ -1,0 +1,54 @@
+// Reproduces Fig. 2: sensitivity of the achievable-to-oracle throughput
+// ratio T^σ/T* to network heterogeneity h, for groupput (a) and anyput (b).
+// N = 5, σ ∈ {0.1, 0.25, 0.5}, h ∈ {10, 50, 100, 150, 200, 250}; each point
+// averages random networks sampled by the §VII-B process (the paper uses
+// 1000 samples; pass a positional argument to change the default).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "gibbs/p4_solver.h"
+#include "model/node_params.h"
+#include "oracle/clique_oracle.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace econcast;
+  const long samples = bench::knob(argc, argv, 300);
+  bench::banner("Figure 2", "T^sigma/T* vs heterogeneity h (N=5)");
+  std::printf("samples per point: %ld (paper: 1000)\n\n", samples);
+
+  const double h_values[] = {10.0, 50.0, 100.0, 150.0, 200.0, 250.0};
+  const double sigmas[] = {0.1, 0.25, 0.5};
+
+  for (const model::Mode mode : {model::Mode::kGroupput, model::Mode::kAnyput}) {
+    util::Table t({"h", "sigma", "mean T^s/T*", "95% CI"});
+    for (const double h : h_values) {
+      for (const double sigma : sigmas) {
+        util::Rng rng(0xF16'2000 + static_cast<std::uint64_t>(h));
+        util::RunningStats ratio;
+        for (long s = 0; s < samples; ++s) {
+          const auto nodes = model::sample_heterogeneous(5, h, rng);
+          const double t_star = oracle::solve(nodes, mode).throughput;
+          if (t_star <= 0.0) continue;
+          const auto p4 = gibbs::solve_p4(nodes, mode, sigma);
+          ratio.add(p4.throughput / t_star);
+        }
+        t.add_row();
+        t.add_cell(h, 0);
+        t.add_cell(sigma, 2);
+        t.add_cell(ratio.mean(), 4);
+        t.add_cell(ratio.ci95_halfwidth(), 4);
+      }
+    }
+    t.print(std::cout, std::string("Fig. 2 — ") + model::to_string(mode));
+    std::printf("\n");
+  }
+  std::printf(
+      "paper: ratios increase as sigma decreases and approach 1 as sigma->0;\n"
+      "       weak dependence on h; for homogeneous networks (h=10) the\n"
+      "       anyput ratio is slightly above the groupput ratio.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Fig. 4: average burst length of EconCast-C vs σ — analytical
+// curves from eqs. (34)-(35) for N ∈ {5, 10}, plus simulated markers at
+// σ ∈ {0.25, 0.5} (the paper notes σ = 0.1 cannot be simulated to
+// convergence: the analytic burst length there is ~4e5 packets).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "econcast/simulation.h"
+#include "gibbs/burstiness.h"
+#include "gibbs/p4_solver.h"
+#include "util/table.h"
+
+namespace {
+
+double simulated_burst(std::size_t n, econcast::model::Mode mode, double sigma,
+                       double duration) {
+  using namespace econcast;
+  const auto nodes = model::homogeneous(n, 10.0, 500.0, 500.0);
+  const auto p4 = gibbs::solve_p4(nodes, mode, sigma);
+  proto::SimConfig cfg;
+  cfg.mode = mode;
+  cfg.sigma = sigma;
+  cfg.duration = duration;
+  cfg.warmup = duration * 0.1;
+  cfg.seed = 4242;
+  cfg.adapt_multiplier = false;  // markers at the converged operating point
+  cfg.eta_init = p4.eta;
+  proto::Simulation sim(nodes, model::Topology::clique(n), cfg);
+  return sim.run().burst_lengths.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace econcast;
+  const long scale = bench::knob(argc, argv, 4);  // sim duration = scale * 1e6
+  bench::banner("Figure 4", "average burst length vs sigma (rho=10uW, L=X=500uW)");
+
+  for (const model::Mode mode : {model::Mode::kGroupput, model::Mode::kAnyput}) {
+    util::Table t({"sigma", "analytic N=5", "analytic N=10", "sim N=5",
+                   "sim N=10"});
+    for (double sigma = 0.10; sigma <= 1.0 + 1e-9; sigma += 0.05) {
+      const auto n5 = model::homogeneous(5, 10.0, 500.0, 500.0);
+      const auto n10 = model::homogeneous(10, 10.0, 500.0, 500.0);
+      t.add_row();
+      t.add_cell(sigma, 2);
+      t.add_cell(util::format_sci(gibbs::average_burst_length(n5, mode, sigma)));
+      t.add_cell(util::format_sci(gibbs::average_burst_length(n10, mode, sigma)));
+      const bool marker = std::abs(sigma - 0.25) < 1e-9 ||
+                          std::abs(sigma - 0.5) < 1e-9;
+      if (marker) {
+        t.add_cell(util::format_sci(
+            simulated_burst(5, mode, sigma, 1e6 * static_cast<double>(scale))));
+        t.add_cell(util::format_sci(simulated_burst(
+            10, mode, sigma, 1e6 * static_cast<double>(scale))));
+      } else {
+        t.add_cell("-");
+        t.add_cell("-");
+      }
+    }
+    t.print(std::cout, std::string("Fig. 4 — ") + model::to_string(mode));
+    std::printf("\n");
+  }
+  std::printf(
+      "paper: groupput burst length grows steeply as sigma decreases (85 at\n"
+      "       sigma=0.25, N=10 -> 4e5 at sigma=0.1) and grows with N; anyput\n"
+      "       burst length = e^{1/sigma}, independent of N (eq. (35)).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Fig. 6: grid topologies — the non-clique oracle groupput T*_nc
+// (upper/lower LP bounds of §IV-C, which coincide for these grids) and the
+// simulated EconCast groupput for σ ∈ {0.25, 0.5, 0.75}, N ∈ {4,...,100}.
+// Collided (hidden-terminal) receptions are voided, as in the paper.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "econcast/simulation.h"
+#include "oracle/nonclique_oracle.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace econcast;
+  const long scale = bench::knob(argc, argv, 2);  // duration = scale * 1e6
+  bench::banner("Figure 6", "grid topologies: oracle T*_nc and simulated T~ (rho=10uW)");
+
+  util::Table t({"N", "T*_nc", "bounds tight", "sim s=0.25", "sim s=0.5",
+                 "sim s=0.75", "ratio s=0.25"});
+  for (const std::size_t k : {2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u}) {
+    const std::size_t n = k * k;
+    const auto nodes = model::homogeneous(n, 10.0, 500.0, 500.0);
+    const auto topo = model::Topology::grid(k, k);
+    const auto bounds = oracle::nonclique_groupput(nodes, topo);
+    t.add_row();
+    t.add_cell(static_cast<std::int64_t>(n));
+    t.add_cell(bounds.lower.throughput, 4);
+    t.add_cell(bounds.tight(1e-6) ? "yes" : "no");
+    double sim_025 = 0.0;
+    for (const double sigma : {0.25, 0.5, 0.75}) {
+      proto::SimConfig cfg;
+      cfg.sigma = sigma;
+      cfg.duration = 1e6 * static_cast<double>(scale);
+      cfg.warmup = cfg.duration * 0.4;
+      cfg.seed = 66 + n;
+      cfg.energy_guard = true;  // adaptive start from eta = 0
+      cfg.initial_energy = 5e5;
+      proto::Simulation sim(nodes, topo, cfg);
+      const auto r = sim.run();
+      t.add_cell(r.groupput, 4);
+      if (sigma == 0.25) sim_025 = r.groupput;
+    }
+    t.add_cell(sim_025 / bounds.lower.throughput, 3);
+  }
+  t.print(std::cout, "Fig. 6 — grids");
+  std::printf(
+      "\npaper: upper and lower bounds coincide for all grids (exact T*_nc);\n"
+      "       EconCast reaches 14-22%% of T*_nc at sigma=0.25 and ~10%% at\n"
+      "       sigma=0.5 as N grows.\n");
+  return 0;
+}

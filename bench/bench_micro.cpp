@@ -1,0 +1,104 @@
+// Micro-benchmarks (google-benchmark) for the library's hot paths: Gibbs
+// evaluation over W, the symmetric collapse, the dual solvers, the LP
+// oracle, and the event-driven simulator.
+#include <benchmark/benchmark.h>
+
+#include "econcast/simulation.h"
+#include "gibbs/exact.h"
+#include "gibbs/p4_solver.h"
+#include "gibbs/symmetric.h"
+#include "model/state_space.h"
+#include "oracle/clique_oracle.h"
+
+namespace {
+
+using namespace econcast;
+
+void BM_StateSpaceEnumeration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    model::for_each_state(n, [&](const model::NetState& s) {
+      acc += static_cast<std::uint64_t>(s.listener_count());
+    });
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(model::state_space_size(n)));
+}
+BENCHMARK(BM_StateSpaceEnumeration)->Arg(5)->Arg(10)->Arg(14);
+
+void BM_ExactGibbsMarginals(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto nodes = model::homogeneous(n, 10.0, 500.0, 500.0);
+  const gibbs::ExactGibbs g(nodes, model::Mode::kGroupput, 0.25);
+  const std::vector<double> eta(n, 0.003);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.marginals(eta));
+  }
+}
+BENCHMARK(BM_ExactGibbsMarginals)->Arg(5)->Arg(10)->Arg(14);
+
+void BM_SymmetricGibbsMarginals(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const gibbs::SymmetricGibbs g(n, {10.0, 500.0, 500.0},
+                                model::Mode::kGroupput, 0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.marginals(0.003));
+  }
+}
+BENCHMARK(BM_SymmetricGibbsMarginals)->Arg(5)->Arg(50)->Arg(500);
+
+void BM_P4SolveSymmetric(benchmark::State& state) {
+  const auto nodes = model::homogeneous(
+      static_cast<std::size_t>(state.range(0)), 10.0, 500.0, 500.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gibbs::solve_p4(nodes, model::Mode::kGroupput, 0.25));
+  }
+}
+BENCHMARK(BM_P4SolveSymmetric)->Arg(5)->Arg(10)->Arg(100);
+
+void BM_P4SolveAccelerated(benchmark::State& state) {
+  const auto nodes = model::homogeneous(
+      static_cast<std::size_t>(state.range(0)), 10.0, 500.0, 500.0);
+  gibbs::P4Options opt;
+  opt.method = gibbs::P4Method::kAccelerated;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gibbs::solve_p4(nodes, model::Mode::kGroupput, 0.25, opt));
+  }
+}
+BENCHMARK(BM_P4SolveAccelerated)->Arg(5)->Arg(8);
+
+void BM_OracleGroupputLP(benchmark::State& state) {
+  const auto nodes = model::homogeneous(
+      static_cast<std::size_t>(state.range(0)), 10.0, 500.0, 500.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle::groupput(nodes));
+  }
+}
+BENCHMARK(BM_OracleGroupputLP)->Arg(5)->Arg(25)->Arg(100);
+
+void BM_SimulatorEvents(benchmark::State& state) {
+  const auto nodes = model::homogeneous(5, 10.0, 500.0, 500.0);
+  std::uint64_t seed = 1;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    proto::SimConfig cfg;
+    cfg.sigma = 0.5;
+    cfg.duration = 1e5;
+    cfg.seed = seed++;
+    proto::Simulation sim(nodes, model::Topology::clique(5), cfg);
+    const auto r = sim.run();
+    events += r.events_processed;
+    benchmark::DoNotOptimize(r.groupput);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_SimulatorEvents);
+
+}  // namespace
+
+BENCHMARK_MAIN();

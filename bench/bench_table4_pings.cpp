@@ -1,0 +1,37 @@
+// Reproduces Table IV: distribution of the number of pings (active
+// listeners) the transmitter receives after each packet transmission, on the
+// emulated testbed with N = 5, σ = 0.25, ρ ∈ {1, 5} mW.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "testbed/firmware.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace econcast;
+  const long hours = bench::knob(argc, argv, 12);
+  bench::banner("Table IV", "pings received per packet (N=5, sigma=0.25)");
+
+  util::Table t({"rho mW", "0", "1", "2", "3", "4"});
+  for (const double rho : {1.0, 5.0}) {
+    testbed::TestbedConfig cfg;
+    cfg.n = 5;
+    cfg.budget_mw = rho;
+    cfg.sigma = 0.25;
+    cfg.duration_ms = static_cast<double>(hours) * 3600e3;
+    cfg.warmup_ms = cfg.duration_ms / 3.0;
+    cfg.seed = 77 + static_cast<std::uint64_t>(rho);
+    const auto r = testbed::run_testbed(cfg);
+    t.add_row();
+    t.add_cell(rho, 0);
+    for (std::size_t c = 0; c <= 4; ++c)
+      t.add_cell(100.0 * r.ping_distribution.fraction(c), 2);
+  }
+  t.print(std::cout, "Table IV — % of packets by ping count");
+  std::printf(
+      "\npaper: rho=1mW -> (89.03, 9.69, 1.28, 0.00, 0.00)%%;\n"
+      "       rho=5mW -> (59.21, 31.22, 8.22, 1.24, 0.11)%%.\n"
+      "       Higher budgets shift mass toward more listeners.\n");
+  return 0;
+}

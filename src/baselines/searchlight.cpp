@@ -1,0 +1,95 @@
+#include "baselines/searchlight.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace econcast::baselines {
+
+namespace {
+
+// Searchlight-S schedule: anchor at local slot 0 plus a striped probe that
+// visits the odd positions 1, 3, 5, ... <= ceil(t/2), one per period. Each
+// probe slot overflows slightly into the next slot, so a probe at position p
+// also discovers a peer whose awake slot sits at p+1 (the striping trick that
+// halves the search span; Searchlight §4.3).
+struct Schedule {
+  std::int64_t t;           // period in slots
+  std::int64_t probe_span;  // number of striped probe positions
+
+  explicit Schedule(std::int64_t period)
+      : t(period), probe_span((period / 2 + 1 + 1) / 2) {}
+
+  std::int64_t probe_position(std::int64_t period_index) const {
+    return 1 + 2 * (period_index % probe_span);
+  }
+
+  // Awake during the full local slot (anchor or probe body).
+  bool awake(std::int64_t global_slot, std::int64_t start) const {
+    const std::int64_t local = global_slot - start;
+    if (local < 0) return false;
+    const std::int64_t in_period = local % t;
+    if (in_period == 0) return true;
+    return in_period == probe_position(local / t);
+  }
+
+  // Probe overflow: listening during the head of the *next* slot.
+  bool probing_overflow(std::int64_t global_slot, std::int64_t start) const {
+    const std::int64_t local = global_slot - start;
+    if (local < 1) return false;
+    const std::int64_t prev = local - 1;
+    return prev % t == probe_position(prev / t);
+  }
+};
+
+}  // namespace
+
+SearchlightResult analyze_searchlight(const SearchlightConfig& config) {
+  if (!(config.budget > 0.0) || !(config.listen_power > config.budget))
+    throw std::invalid_argument(
+        "searchlight: need 0 < budget < listen_power (duty cycling)");
+  SearchlightResult out;
+  // Two awake slots per period at listen-level draw: duty cycle 2/t = ρ/L.
+  const auto t = static_cast<std::int64_t>(
+      std::ceil(2.0 * config.listen_power / config.budget));
+  out.period_slots = t;
+  out.duty_cycle = 2.0 / static_cast<double>(t);
+
+  const Schedule sched(t);
+  const std::int64_t hyper = t * sched.probe_span;  // full probe pattern
+  const std::int64_t horizon = 2 * hyper;
+
+  std::int64_t worst_first = 0;
+  double sum_first = 0.0;
+  std::int64_t full_overlaps = 0;  // slot-long rendezvous (data exchange)
+  for (std::int64_t d = 0; d < t; ++d) {
+    std::int64_t first = -1;
+    for (std::int64_t s = d; s < d + horizon; ++s) {
+      const bool a_awake = sched.awake(s, 0);
+      const bool b_awake = sched.awake(s, d);
+      const bool discover =
+          (a_awake && b_awake) ||
+          (b_awake && sched.probing_overflow(s, 0)) ||
+          (a_awake && sched.probing_overflow(s, d));
+      if (a_awake && b_awake) ++full_overlaps;
+      if (discover && first < 0) first = s - d;
+    }
+    if (first < 0)
+      throw std::logic_error("searchlight: offset never discovered");
+    worst_first = std::max(worst_first, first + 1);  // slot inclusive
+    sum_first += static_cast<double>(first + 1);
+  }
+  const double slot = config.slot_seconds;
+  out.worst_latency_seconds = static_cast<double>(worst_first) * slot;
+  out.mean_latency_seconds = sum_first / static_cast<double>(t) * slot;
+  out.rendezvous_per_second =
+      static_cast<double>(full_overlaps) /
+      (static_cast<double>(t) * static_cast<double>(horizon) * slot);
+  const double payload_fraction =
+      std::max(0.0, config.slot_seconds - 2.0 * config.beacon_seconds);
+  out.pairwise_throughput = out.rendezvous_per_second * payload_fraction;
+  return out;
+}
+
+}  // namespace econcast::baselines

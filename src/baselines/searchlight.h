@@ -1,0 +1,51 @@
+// Searchlight baseline (Bakht, Trower & Kravets, MobiCom'12 — ref [19]).
+// Deterministic slotted discovery: each node is awake in an anchor slot
+// (slot 0 of its period) and in one probe slot that sequentially scans
+// 1..ceil(t/2) across periods. Discovery happens when two nodes' awake slots
+// coincide. The period t is set by the power budget: 2 awake slots per
+// period of t slots gives duty cycle 2/t, so t = 2·L_effective/ρ.
+//
+// The paper compares against Searchlight via (a) the pairwise worst-case
+// discovery latency (Fig. 5's 125 s line: slot 50 ms, beacon 1 ms, the §VII
+// power setting) and (b) a groupput upper bound: pairwise throughput
+// (rendezvous rate × payload per rendezvous) multiplied by (N-1) as if all
+// N-1 nodes received every transmission (§VII-C).
+#ifndef ECONCAST_BASELINES_SEARCHLIGHT_H
+#define ECONCAST_BASELINES_SEARCHLIGHT_H
+
+#include <cstdint>
+
+namespace econcast::baselines {
+
+struct SearchlightConfig {
+  double budget = 10e-6;         // ρ (same unit as listen_power)
+  double listen_power = 500e-6;  // awake-slot draw (listen ≈ transmit here)
+  double slot_seconds = 0.050;   // paper footnote 7
+  double beacon_seconds = 0.001; // beacon (packet) length, also the unit
+                                 // packet length for throughput normalization
+};
+
+struct SearchlightResult {
+  std::int64_t period_slots = 0;     // t
+  double duty_cycle = 0.0;           // 2/t
+  double worst_latency_seconds = 0.0;
+  double mean_latency_seconds = 0.0;
+  double rendezvous_per_second = 0.0;  // steady-state overlap rate (pairwise)
+  /// Pairwise throughput in fraction-of-time units (payload per rendezvous =
+  /// slot - 2 beacons, divided by mean rendezvous interval).
+  double pairwise_throughput = 0.0;
+
+  /// The paper's groupput upper bound for an N-clique: (N-1) x pairwise.
+  double groupput_upper_bound(std::size_t n) const noexcept {
+    return n < 2 ? 0.0 : pairwise_throughput * static_cast<double>(n - 1);
+  }
+};
+
+/// Exhaustive slotted analysis: simulates a node pair over every integer
+/// phase offset d in [0, t) for full probe-pattern hyper-periods and reports
+/// worst/mean first-discovery latency and the steady-state rendezvous rate.
+SearchlightResult analyze_searchlight(const SearchlightConfig& config);
+
+}  // namespace econcast::baselines
+
+#endif  // ECONCAST_BASELINES_SEARCHLIGHT_H

@@ -1,0 +1,30 @@
+#include "econcast/estimator.h"
+
+#include <stdexcept>
+
+namespace econcast::proto {
+
+ListenerEstimator::ListenerEstimator(const EstimatorConfig& config)
+    : config_(config) {
+  if (config.kind == EstimatorKind::kBinomialThinning &&
+      (config.detect_prob < 0.0 || config.detect_prob > 1.0))
+    throw std::invalid_argument("detect_prob must be in [0, 1]");
+}
+
+int ListenerEstimator::estimate(int true_count, util::Rng& rng) const {
+  switch (config_.kind) {
+    case EstimatorKind::kPerfect:
+      return true_count;
+    case EstimatorKind::kBinomialThinning: {
+      int seen = 0;
+      for (int i = 0; i < true_count; ++i)
+        if (rng.bernoulli(config_.detect_prob)) ++seen;
+      return seen;
+    }
+    case EstimatorKind::kExistenceOnly:
+      return true_count > 0 ? 1 : 0;
+  }
+  return true_count;
+}
+
+}  // namespace econcast::proto

@@ -1,0 +1,36 @@
+// Listener-count estimation models (§V-C). The idealized evaluation (§VII-A)
+// assumes ĉ(t) = c(t); the ablation suite degrades this to quantify the
+// paper's claim that "estimates do not need to be accurate for EconCast to
+// function". The full ping-collision process is modeled in src/testbed/.
+#ifndef ECONCAST_ECONCAST_ESTIMATOR_H
+#define ECONCAST_ECONCAST_ESTIMATOR_H
+
+#include "util/random.h"
+
+namespace econcast::proto {
+
+enum class EstimatorKind {
+  kPerfect,           // ĉ = c
+  kBinomialThinning,  // each listener's ping detected independently w.p. p
+  kExistenceOnly,     // ĉ = 1{c > 0} (existence detector even in groupput mode)
+};
+
+struct EstimatorConfig {
+  EstimatorKind kind = EstimatorKind::kPerfect;
+  double detect_prob = 1.0;  // for kBinomialThinning
+};
+
+class ListenerEstimator {
+ public:
+  explicit ListenerEstimator(const EstimatorConfig& config);
+
+  /// Returns ĉ given the true count of listeners.
+  int estimate(int true_count, util::Rng& rng) const;
+
+ private:
+  EstimatorConfig config_;
+};
+
+}  // namespace econcast::proto
+
+#endif  // ECONCAST_ECONCAST_ESTIMATOR_H

@@ -1,0 +1,36 @@
+#include "econcast/multiplier.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace econcast::proto {
+
+MultiplierTracker::MultiplierTracker(const MultiplierConfig& config)
+    : config_(config), eta_(config.eta_init) {
+  if (config.schedule == StepSchedule::kConstant) {
+    if (!(config.delta > 0.0) || !(config.tau > 0.0))
+      throw std::invalid_argument("constant schedule needs delta, tau > 0");
+  }
+  if (eta_ < 0.0) throw std::invalid_argument("eta_init must be >= 0");
+}
+
+double MultiplierTracker::next_interval_length() const noexcept {
+  if (config_.schedule == StepSchedule::kConstant) return config_.tau;
+  return static_cast<double>(k_);  // τ_k = k
+}
+
+double MultiplierTracker::step_over_interval() const noexcept {
+  if (config_.schedule == StepSchedule::kConstant)
+    return config_.delta / config_.tau;
+  const double kp1 = static_cast<double>(k_ + 1);
+  const double delta_k = 1.0 / (kp1 * std::log(kp1));
+  return delta_k / static_cast<double>(k_);
+}
+
+void MultiplierTracker::update(double storage_delta) noexcept {
+  eta_ -= step_over_interval() * storage_delta;
+  if (eta_ < 0.0) eta_ = 0.0;
+  ++k_;
+}
+
+}  // namespace econcast::proto

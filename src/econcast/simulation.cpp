@@ -1,0 +1,395 @@
+#include "econcast/simulation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace econcast::proto {
+
+using sim::EventKind;
+
+namespace {
+MultiplierConfig node_multiplier_config(const SimConfig& cfg,
+                                        const model::NodeParams& node,
+                                        double eta_init) {
+  MultiplierConfig mc = cfg.multiplier;
+  mc.eta_init = eta_init;
+  if (cfg.auto_step && mc.schedule == StepSchedule::kConstant)
+    mc.delta = cfg.auto_step_gain * cfg.sigma /
+               (node.listen_power * node.budget);
+  return mc;
+}
+}  // namespace
+
+Simulation::Simulation(model::NodeSet nodes, model::Topology topology,
+                       SimConfig config)
+    : nodes_(std::move(nodes)),
+      topo_(std::move(topology)),
+      config_(std::move(config)),
+      estimator_(config_.estimator),
+      rng_(config_.seed),
+      channel_(topo_),
+      metrics_(nodes_.size()),
+      burst_rx_flag_(nodes_.size(), 0) {
+  model::validate(nodes_);
+  if (nodes_.size() != topo_.size())
+    throw std::invalid_argument("nodes/topology size mismatch");
+  if (!(config_.sigma > 0.0))
+    throw std::invalid_argument("sigma must be positive");
+  if (!(config_.duration > config_.warmup) || config_.warmup < 0.0)
+    throw std::invalid_argument("need 0 <= warmup < duration");
+  if (!config_.eta_init.empty() && config_.eta_init.size() != nodes_.size())
+    throw std::invalid_argument("eta_init size mismatch");
+  if (config_.track_state_occupancy &&
+      (!topo_.is_clique() || nodes_.size() > 16))
+    throw std::invalid_argument(
+        "state occupancy tracking requires a clique with N <= 16");
+
+  rates_.reserve(nodes_.size());
+  nodes_rt_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    rates_.emplace_back(nodes_[i].listen_power, nodes_[i].transmit_power,
+                        config_.sigma, config_.variant, config_.mode);
+    const double eta0 = config_.eta_init.empty()
+                            ? config_.multiplier.eta_init
+                            : config_.eta_init[i];
+    nodes_rt_.emplace_back(node_multiplier_config(config_, nodes_[i], eta0),
+                           nodes_[i].budget, config_.initial_energy);
+    nodes_rt_.back().interval_start_level = config_.initial_energy;
+  }
+  if (config_.track_state_occupancy)
+    occupancy_.assign(model::state_space_size(nodes_.size()), 0.0);
+}
+
+int Simulation::observed_listeners(std::size_t i) const {
+  return channel_.listening_neighbors(i);
+}
+
+void Simulation::occupancy_advance() {
+  if (occupancy_.empty()) return;
+  const double from = std::max(occ_since_, metrics_.start_time());
+  if (now_ > from) {
+    const model::NetState s{occ_tx_, occ_mask_};
+    occupancy_[model::state_index(nodes_.size(), s)] += now_ - from;
+  }
+  occ_since_ = now_;
+}
+
+void Simulation::occupancy_apply_state(std::size_t i, NodeState next) {
+  if (occupancy_.empty()) return;
+  const std::uint64_t bit = 1ULL << i;
+  // Clear the node's previous contribution.
+  occ_mask_ &= ~bit;
+  if (occ_tx_ == static_cast<int>(i)) occ_tx_ = -1;
+  switch (next) {
+    case NodeState::kListen:
+      occ_mask_ |= bit;
+      break;
+    case NodeState::kTransmit:
+      occ_tx_ = static_cast<int>(i);
+      break;
+    case NodeState::kSleep:
+      break;
+  }
+}
+
+void Simulation::set_state(std::size_t i, NodeState next) {
+  NodeRuntime& rt = nodes_rt_[i];
+  occupancy_advance();
+  occupancy_apply_state(i, next);
+
+  // Time-in-state accounting, clipped to the measured window.
+  const double from = std::max(rt.state_since, metrics_.start_time());
+  if (now_ > from) {
+    if (rt.state == NodeState::kListen) rt.listen_time += now_ - from;
+    if (rt.state == NodeState::kTransmit) rt.transmit_time += now_ - from;
+  }
+
+  // Channel listen bookkeeping (transmit raises carrier via begin_burst).
+  if (rt.state == NodeState::kListen && next != NodeState::kListen)
+    channel_.set_listening(i, false);
+  if (next == NodeState::kListen) channel_.set_listening(i, true);
+
+  double draw = 0.0;
+  if (next == NodeState::kListen) draw = nodes_[i].listen_power;
+  if (next == NodeState::kTransmit) draw = nodes_[i].transmit_power;
+  rt.energy.set_draw(draw, now_);
+
+  rt.state = next;
+  rt.state_since = now_;
+}
+
+void Simulation::schedule_transition(std::size_t i) {
+  NodeRuntime& rt = nodes_rt_[i];
+  ++rt.stamp;
+  const bool idle = !channel_.busy_at(i);
+  double rate = 0.0;
+  switch (rt.state) {
+    case NodeState::kSleep:
+      if (config_.energy_guard) {
+        // Hysteresis: a browned-out node recharges enough for one
+        // packet-time of listening before it competes to wake again. The
+        // tolerance and slack keep floating-point round-off from
+        // re-arming the refill timer at ~zero intervals.
+        const double refill =
+            config_.guard_floor + nodes_[i].listen_power;
+        const double level = rt.energy.level(now_);
+        const double deficit = refill - level;
+        if (deficit > 1e-9 * refill) {
+          queue_.push(now_ + deficit / nodes_[i].budget + 1e-9,
+                      EventKind::kEnergyDepleted,
+                      static_cast<std::uint32_t>(i), rt.stamp);
+          return;
+        }
+      }
+      rate = rates_[i].sleep_to_listen(rt.multiplier.eta(), idle);
+      break;
+    case NodeState::kListen: {
+      if (config_.energy_guard &&
+          nodes_[i].listen_power > nodes_[i].budget) {
+        // Brown-out watchdog: fires even while carrier-gated (a listener
+        // pinned inside a long burst still drains its storage).
+        const double level = rt.energy.level(now_);
+        const double dt = std::max(0.0, level - config_.guard_floor) /
+                          (nodes_[i].listen_power - nodes_[i].budget);
+        queue_.push(now_ + dt, EventKind::kEnergyDepleted,
+                    static_cast<std::uint32_t>(i), rt.stamp);
+      }
+      rate = rates_[i].listen_to_sleep(idle) +
+             rates_[i].listen_to_transmit(
+                 rt.multiplier.eta(),
+                 static_cast<double>(observed_listeners(i)), idle);
+      break;
+    }
+    case NodeState::kTransmit:
+      return;  // bursts advance via packet-end events
+  }
+  if (rate <= 0.0) return;  // gated: wait for a channel/interval wake-up
+  queue_.push(now_ + rng_.exponential(rate), EventKind::kTransition,
+              static_cast<std::uint32_t>(i), rt.stamp);
+}
+
+void Simulation::resample_toggled() {
+  for (const std::size_t n : channel_.drain_toggled()) {
+    if (nodes_rt_[n].state != NodeState::kTransmit) schedule_transition(n);
+  }
+}
+
+void Simulation::resample_listening_neighbors_nc(std::size_t i) {
+  if (config_.variant != Variant::kNonCapture) return;
+  // λ_lx of eq. (18d) depends on the other-listener count, so listening
+  // neighbors must re-sample when node i joins/leaves the listener pool.
+  for (const std::size_t j : topo_.neighbors(i)) {
+    if (nodes_rt_[j].state == NodeState::kListen) schedule_transition(j);
+  }
+}
+
+void Simulation::begin_packet_timer(std::size_t i) {
+  nodes_rt_[i].packet_start = now_;
+  queue_.push(now_ + 1.0, EventKind::kPacketEnd,
+              static_cast<std::uint32_t>(i), 0);
+}
+
+void Simulation::fire_transition(std::size_t i) {
+  NodeRuntime& rt = nodes_rt_[i];
+  const bool idle = !channel_.busy_at(i);
+  if (!idle) return;  // defensive: gated events are invalidated via stamps
+
+  switch (rt.state) {
+    case NodeState::kSleep: {
+      set_state(i, NodeState::kListen);
+      schedule_transition(i);
+      resample_listening_neighbors_nc(i);
+      break;
+    }
+    case NodeState::kListen: {
+      const double r_sleep = rates_[i].listen_to_sleep(idle);
+      const double r_tx = rates_[i].listen_to_transmit(
+          rt.multiplier.eta(), static_cast<double>(observed_listeners(i)),
+          idle);
+      const double total = r_sleep + r_tx;
+      if (total <= 0.0) return;
+      if (rng_.uniform() * total < r_sleep) {
+        set_state(i, NodeState::kSleep);
+        metrics_.node_slept(i);
+        schedule_transition(i);
+        resample_listening_neighbors_nc(i);
+      } else {
+        set_state(i, NodeState::kTransmit);
+        invalidate_transition(i);  // cancel any pending guard watchdog
+        channel_.begin_burst(i);
+        channel_.begin_packet(i);
+        rt.burst_packets = 0;
+        rt.burst_received_any = false;
+        begin_packet_timer(i);
+        resample_toggled();
+      }
+      break;
+    }
+    case NodeState::kTransmit:
+      break;  // no rate-driven exits from transmit
+  }
+}
+
+void Simulation::finish_burst(std::size_t i) {
+  NodeRuntime& rt = nodes_rt_[i];
+  metrics_.record_burst(now_, rt.burst_packets, rt.burst_received_any);
+  for (const std::size_t j : burst_rx_list_) {
+    metrics_.receiver_burst_ended(j, now_);
+    burst_rx_flag_[j] = 0;
+  }
+  burst_rx_list_.clear();
+  channel_.end_burst(i);
+  set_state(i, NodeState::kListen);  // x -> l (Fig. 1)
+  schedule_transition(i);
+  resample_toggled();
+}
+
+void Simulation::handle_packet_end(std::size_t i) {
+  NodeRuntime& rt = nodes_rt_[i];
+  const sim::Channel::PacketOutcome outcome = channel_.end_packet(i);
+  const auto clean = static_cast<std::uint32_t>(outcome.clean_receivers.size());
+  metrics_.record_packet(now_, 1.0, clean, outcome.corrupted);
+  for (const std::size_t j : outcome.clean_receivers) {
+    metrics_.receiver_burst_started(j, rt.packet_start);
+    if (!burst_rx_flag_[j]) {
+      burst_rx_flag_[j] = 1;
+      burst_rx_list_.push_back(j);
+    }
+  }
+  ++rt.burst_packets;
+  rt.burst_received_any |= clean > 0;
+
+  // Capture decision (§V-D): the transmitter estimates the listener count
+  // from the pings of this packet's recipients and keeps the channel with
+  // probability 1 - exp(-ĉ/σ) (groupput) / 1 - exp(-γ̂/σ) (anyput).
+  const int estimate = estimator_.estimate(static_cast<int>(clean), rng_);
+  // The energy guard refuses to extend a burst the node cannot pay for.
+  const bool can_afford =
+      !config_.energy_guard ||
+      rt.energy.level(now_) - config_.guard_floor >=
+          nodes_[i].transmit_power;
+  if (can_afford &&
+      rng_.bernoulli(
+          rates_[i].continue_probability(static_cast<double>(estimate)))) {
+    channel_.begin_packet(i);
+    begin_packet_timer(i);
+  } else {
+    finish_burst(i);
+  }
+}
+
+void Simulation::handle_energy_guard(std::size_t i) {
+  NodeRuntime& rt = nodes_rt_[i];
+  switch (rt.state) {
+    case NodeState::kSleep:
+      // Refill reached: resume the normal wake-up race.
+      schedule_transition(i);
+      break;
+    case NodeState::kListen:
+      // Brown-out: forced sleep; an in-progress reception is lost (the
+      // channel drops the lock when the node stops listening).
+      set_state(i, NodeState::kSleep);
+      metrics_.node_slept(i);
+      schedule_transition(i);
+      resample_listening_neighbors_nc(i);
+      break;
+    case NodeState::kTransmit:
+      break;  // transmit affordability is checked at packet boundaries
+  }
+}
+
+void Simulation::handle_interval_end(std::size_t i) {
+  NodeRuntime& rt = nodes_rt_[i];
+  const double level = rt.energy.level(now_);
+  if (config_.adapt_multiplier)
+    rt.multiplier.update(level - rt.interval_start_level);
+  rt.interval_start_level = level;
+  queue_.push(now_ + rt.multiplier.next_interval_length(),
+              EventKind::kIntervalEnd, static_cast<std::uint32_t>(i), 0);
+  if (rt.state != NodeState::kTransmit) schedule_transition(i);
+}
+
+SimResult Simulation::run() {
+  const std::size_t n = nodes_.size();
+  metrics_.start_measurement(config_.warmup);
+  std::vector<double> consumed_at_warmup(n, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    schedule_transition(i);
+    queue_.push(nodes_rt_[i].multiplier.next_interval_length(),
+                EventKind::kIntervalEnd, static_cast<std::uint32_t>(i), 0);
+  }
+  bool warmup_snapshot_pending = config_.warmup > 0.0;
+  if (warmup_snapshot_pending)
+    queue_.push(config_.warmup, EventKind::kCustom, 0, 0);
+
+  while (!queue_.empty() && queue_.top().time <= config_.duration) {
+    const sim::Event e = queue_.pop();
+    now_ = e.time;
+    ++events_processed_;
+    switch (e.kind) {
+      case EventKind::kTransition:
+        if (e.stamp == nodes_rt_[e.node].stamp) fire_transition(e.node);
+        break;
+      case EventKind::kPacketEnd:
+        handle_packet_end(e.node);
+        break;
+      case EventKind::kIntervalEnd:
+        handle_interval_end(e.node);
+        break;
+      case EventKind::kEnergyDepleted:
+        if (e.stamp == nodes_rt_[e.node].stamp) handle_energy_guard(e.node);
+        break;
+      case EventKind::kCustom:
+        if (warmup_snapshot_pending) {
+          for (std::size_t i = 0; i < n; ++i)
+            consumed_at_warmup[i] = nodes_rt_[i].energy.consumed(now_);
+          warmup_snapshot_pending = false;
+        }
+        break;
+      case EventKind::kPingSlot:
+        break;  // unused in the idealized simulation
+    }
+  }
+  now_ = config_.duration;
+  occupancy_advance();
+
+  SimResult result;
+  result.measured_window = config_.duration - config_.warmup;
+  result.groupput = metrics_.groupput(config_.duration);
+  result.anyput = metrics_.anyput(config_.duration);
+  result.avg_power.resize(n);
+  result.listen_fraction.resize(n);
+  result.transmit_fraction.resize(n);
+  result.final_eta.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeRuntime& rt = nodes_rt_[i];
+    // Close the open state interval.
+    const double from = std::max(rt.state_since, config_.warmup);
+    if (now_ > from) {
+      if (rt.state == NodeState::kListen) rt.listen_time += now_ - from;
+      if (rt.state == NodeState::kTransmit) rt.transmit_time += now_ - from;
+    }
+    result.avg_power[i] =
+        (rt.energy.consumed(now_) - consumed_at_warmup[i]) /
+        result.measured_window;
+    result.listen_fraction[i] = rt.listen_time / result.measured_window;
+    result.transmit_fraction[i] = rt.transmit_time / result.measured_window;
+    result.final_eta[i] = rt.multiplier.eta();
+  }
+  result.burst_lengths = metrics_.burst_lengths();
+  result.latencies = std::move(metrics_.latencies());
+  result.packets_sent = metrics_.packets_sent();
+  result.packets_received = metrics_.packets_received();
+  result.bursts = metrics_.burst_count();
+  result.corrupted_receptions = metrics_.corrupted_receptions();
+  result.events_processed = events_processed_;
+  if (!occupancy_.empty()) {
+    result.state_occupancy = occupancy_;
+    const double total = result.measured_window;
+    for (double& v : result.state_occupancy) v /= total;
+  }
+  return result;
+}
+
+}  // namespace econcast::proto

@@ -1,0 +1,175 @@
+// Continuous-time discrete-event simulation of a network running EconCast
+// (§V). Each node holds exponential sojourn times with the rates of eq. (18),
+// gated by carrier sense; the capture variant is packetized via the §V-B
+// equivalence (continue with probability 1 - λ_xl per unit packet). Nodes
+// adapt their multipliers from energy-storage deltas (eq. (17)).
+//
+// Works on any topology; on cliques with N <= 16 it can additionally tally
+// the empirical network-state occupancy for direct comparison against the
+// Gibbs distribution (19) (the Lemma 2 cross-check used by the test suite).
+#ifndef ECONCAST_ECONCAST_SIMULATION_H
+#define ECONCAST_ECONCAST_SIMULATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "econcast/estimator.h"
+#include "econcast/multiplier.h"
+#include "econcast/rates.h"
+#include "model/network.h"
+#include "model/node_params.h"
+#include "model/state_space.h"
+#include "sim/channel.h"
+#include "sim/energy.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "util/stats.h"
+
+namespace econcast::proto {
+
+struct SimConfig {
+  model::Mode mode = model::Mode::kGroupput;
+  Variant variant = Variant::kCapture;
+  double sigma = 0.5;
+
+  MultiplierConfig multiplier;         // shared adaptation parameters
+  bool adapt_multiplier = true;        // false: freeze η at its initial value
+  std::vector<double> eta_init;        // optional per-node override
+
+  /// Auto-scale the constant step δ to the node's own power scale:
+  /// δ_i = auto_step_gain · σ / (L_i · ρ_i). The multiplier's natural scale
+  /// is σ/L_i and the storage delta's natural scale per interval is ρ_i·τ,
+  /// so this makes the per-interval η drift a fixed fraction of σ/L_i —
+  /// eq. (17) is unit-sensitive and the paper leaves the calibration of δ
+  /// open ("some small constant δ", §V-F). Ignored for kTheorem1.
+  bool auto_step = true;
+  double auto_step_gain = 0.02;
+
+  EstimatorConfig estimator;
+
+  double duration = 1e6;   // total simulated packet-times
+  double warmup = 0.0;     // metrics discarded before this time
+  std::uint64_t seed = 1;
+  double initial_energy = 0.0;
+
+  /// Physical-storage guard (off by default to match the paper's idealized
+  /// §VII model, where b(t) is unbounded). When enabled, a node whose
+  /// storage reaches `guard_floor` browns out: it is forced to sleep (an
+  /// in-progress reception is lost) and may not wake again until it has
+  /// recharged enough to afford one packet-time of listening. A transmitter
+  /// will not extend a burst it cannot pay for. This bounds the giant
+  /// captures that unbounded storage permits at small σ.
+  ///
+  /// Pair the guard with a realistic `initial_energy` — a receiver can only
+  /// take bursts it can pay for, so starting at the floor collapses
+  /// reception into one-packet snippets. A small storage capacitor's worth
+  /// (e.g. ~1000 packet-times of listening, 0.5 mJ at the paper's scale)
+  /// makes the guard invisible in steady state while still truncating the
+  /// e^{(N-1)/σ}-packet transient captures.
+  bool energy_guard = false;
+  double guard_floor = 0.0;
+
+  /// Tally time per network state (cliques, N <= 16 only).
+  bool track_state_occupancy = false;
+};
+
+struct SimResult {
+  double measured_window = 0.0;  // duration - warmup
+  double groupput = 0.0;         // received packet-time per unit time
+  double anyput = 0.0;
+
+  std::vector<double> avg_power;          // measured consumption rate per node
+  std::vector<double> listen_fraction;    // measured α_i
+  std::vector<double> transmit_fraction;  // measured β_i
+  std::vector<double> final_eta;
+
+  util::RunningStats burst_lengths;  // packets per received burst
+  util::SampleSet latencies;         // inter-burst gaps incl. >= 1 sleep
+
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t bursts = 0;
+  std::uint64_t corrupted_receptions = 0;
+  std::uint64_t events_processed = 0;
+
+  /// Normalized time-in-state (indexed by model::state_index); empty unless
+  /// track_state_occupancy was set.
+  std::vector<double> state_occupancy;
+};
+
+class Simulation {
+ public:
+  Simulation(model::NodeSet nodes, model::Topology topology, SimConfig config);
+
+  /// Runs to config.duration and collects results. Call once.
+  SimResult run();
+
+ private:
+  enum class NodeState : std::uint8_t { kSleep, kListen, kTransmit };
+
+  struct NodeRuntime {
+    NodeState state = NodeState::kSleep;
+    std::uint64_t stamp = 0;          // pending-transition validity token
+    MultiplierTracker multiplier;
+    sim::EnergyStore energy;
+    double interval_start_level = 0.0;
+    double state_since = 0.0;
+    double listen_time = 0.0;    // accumulated inside the measured window
+    double transmit_time = 0.0;
+    // Burst bookkeeping while transmitting:
+    std::uint64_t burst_packets = 0;
+    bool burst_received_any = false;
+    double packet_start = 0.0;
+
+    NodeRuntime(const MultiplierConfig& mc, double harvest, double b0)
+        : multiplier(mc), energy(harvest, b0) {}
+  };
+
+  // Event handlers.
+  void fire_transition(std::size_t i);
+  void handle_packet_end(std::size_t i);
+  void handle_interval_end(std::size_t i);
+  void handle_energy_guard(std::size_t i);
+
+  // State machinery.
+  void set_state(std::size_t i, NodeState next);
+  void schedule_transition(std::size_t i);
+  void invalidate_transition(std::size_t i) { ++nodes_rt_[i].stamp; }
+  void resample_toggled();
+  void resample_listening_neighbors_nc(std::size_t i);
+  void begin_packet_timer(std::size_t i);
+  void finish_burst(std::size_t i);
+
+  // Estimation.
+  int observed_listeners(std::size_t i) const;
+
+  // Occupancy tracking.
+  void occupancy_advance();
+  void occupancy_apply_state(std::size_t i, NodeState next);
+
+  model::NodeSet nodes_;
+  model::Topology topo_;
+  SimConfig config_;
+  std::vector<RateController> rates_;  // per node (heterogeneous powers)
+  ListenerEstimator estimator_;
+  util::Rng rng_;
+
+  double now_ = 0.0;
+  sim::EventQueue queue_;
+  sim::Channel channel_;
+  sim::MetricsCollector metrics_;
+  std::vector<NodeRuntime> nodes_rt_;
+  std::vector<std::uint8_t> burst_rx_flag_;     // receivers of current burst
+  std::vector<std::size_t> burst_rx_list_;
+  std::uint64_t events_processed_ = 0;
+
+  // Occupancy tracker state.
+  std::vector<double> occupancy_;
+  std::uint64_t occ_mask_ = 0;
+  int occ_tx_ = -1;
+  double occ_since_ = 0.0;
+};
+
+}  // namespace econcast::proto
+
+#endif  // ECONCAST_ECONCAST_SIMULATION_H

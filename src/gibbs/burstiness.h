@@ -1,0 +1,25 @@
+// Burstiness analysis of Appendix E. EconCast-C keeps the channel for a
+// geometric number of unit packets; the average burst length at the (P4)
+// optimum π* is
+//   B_g = Σ_{w∈W'} π*_w / Σ_{w∈W'} π*_w exp(-c_w/σ)          (34)
+//   B_a = exp(1/σ)                                            (35)
+// with W' = {w : ν_w = 1, c_w >= 1}.
+#ifndef ECONCAST_GIBBS_BURSTINESS_H
+#define ECONCAST_GIBBS_BURSTINESS_H
+
+#include "model/node_params.h"
+#include "model/state_space.h"
+
+namespace econcast::gibbs {
+
+/// Solves (P4) at σ and evaluates eq. (34) (groupput mode) or the same ratio
+/// with γ_w (anyput mode, which collapses to exp(1/σ)).
+double average_burst_length(const model::NodeSet& nodes, model::Mode mode,
+                            double sigma);
+
+/// Closed form for anyput (eq. (35)); independent of N and of the network.
+double anyput_burst_closed_form(double sigma);
+
+}  // namespace econcast::gibbs
+
+#endif  // ECONCAST_GIBBS_BURSTINESS_H

@@ -1,0 +1,141 @@
+#include "gibbs/exact.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logsumexp.h"
+
+namespace econcast::gibbs {
+
+using model::NetState;
+
+ExactGibbs::ExactGibbs(model::NodeSet nodes, model::Mode mode, double sigma)
+    : nodes_(std::move(nodes)), mode_(mode), sigma_(sigma) {
+  model::validate(nodes_);
+  if (!(sigma > 0.0)) throw std::invalid_argument("sigma must be positive");
+  if (nodes_.size() > 16)
+    throw std::invalid_argument(
+        "ExactGibbs supports N <= 16; use SymmetricGibbs for large "
+        "homogeneous networks");
+}
+
+void ExactGibbs::check_eta(const std::vector<double>& eta) const {
+  if (eta.size() != nodes_.size())
+    throw std::invalid_argument("eta size mismatch");
+}
+
+double ExactGibbs::log_weight(const NetState& state,
+                              const std::vector<double>& eta) const {
+  double exponent = model::state_throughput(state, mode_);
+  std::uint64_t mask = state.listeners;
+  while (mask) {
+    const int i = std::countr_zero(mask);
+    exponent -= eta[static_cast<std::size_t>(i)] *
+                nodes_[static_cast<std::size_t>(i)].listen_power;
+    mask &= mask - 1;
+  }
+  if (state.has_transmitter()) {
+    const auto tx = static_cast<std::size_t>(state.transmitter);
+    exponent -= eta[tx] * nodes_[tx].transmit_power;
+  }
+  return exponent / sigma_;
+}
+
+Marginals ExactGibbs::marginals(const std::vector<double>& eta) const {
+  check_eta(eta);
+  const std::size_t n = nodes_.size();
+
+  // First pass: log Z. Second pass folded in by accumulating per-node and
+  // throughput expectations as weighted log-sums.
+  util::LogSumExp log_z;
+  model::for_each_state(n, [&](const NetState& s) {
+    log_z.add(log_weight(s, eta));
+  });
+  const double lz = log_z.value();
+
+  Marginals out;
+  out.log_partition = lz;
+  out.alpha.assign(n, 0.0);
+  out.beta.assign(n, 0.0);
+  double expected_t = 0.0;
+  double expected_exponent = 0.0;  // E[log-weight] for the entropy
+  model::for_each_state(n, [&](const NetState& s) {
+    const double lw = log_weight(s, eta);
+    const double p = std::exp(lw - lz);
+    if (p == 0.0) return;
+    std::uint64_t mask = s.listeners;
+    while (mask) {
+      const int i = std::countr_zero(mask);
+      out.alpha[static_cast<std::size_t>(i)] += p;
+      mask &= mask - 1;
+    }
+    if (s.has_transmitter())
+      out.beta[static_cast<std::size_t>(s.transmitter)] += p;
+    expected_t += p * model::state_throughput(s, mode_);
+    expected_exponent += p * lw;
+  });
+  out.expected_throughput = expected_t;
+  out.entropy = lz - expected_exponent;
+  return out;
+}
+
+BurstSums ExactGibbs::burst_sums(const std::vector<double>& eta) const {
+  check_eta(eta);
+  const std::size_t n = nodes_.size();
+  util::LogSumExp log_z, mass, rate;
+  model::for_each_state(n, [&](const NetState& s) {
+    const double lw = log_weight(s, eta);
+    log_z.add(lw);
+    if (s.has_transmitter() && s.any_listener()) {
+      mass.add(lw);
+      // Groupput bursts end at rate exp(-c_w/σ), anyput at exp(-γ_w/σ).
+      const double end_rate = mode_ == model::Mode::kGroupput
+                                  ? static_cast<double>(s.listener_count())
+                                  : 1.0;
+      rate.add(lw - end_rate / sigma_);
+    }
+  });
+  const double lz = log_z.value();
+  return BurstSums{mass.value() - lz, rate.value() - lz};
+}
+
+std::vector<double> ExactGibbs::distribution(
+    const std::vector<double>& eta) const {
+  check_eta(eta);
+  const std::size_t n = nodes_.size();
+  std::vector<double> pi(model::state_space_size(n));
+  util::LogSumExp log_z;
+  model::for_each_state(n, [&](const NetState& s) {
+    log_z.add(log_weight(s, eta));
+  });
+  const double lz = log_z.value();
+  model::for_each_state(n, [&](const NetState& s) {
+    pi[model::state_index(n, s)] = std::exp(log_weight(s, eta) - lz);
+  });
+  return pi;
+}
+
+double ExactGibbs::dual_value(const std::vector<double>& eta) const {
+  check_eta(eta);
+  util::LogSumExp log_z;
+  model::for_each_state(nodes_.size(), [&](const NetState& s) {
+    log_z.add(log_weight(s, eta));
+  });
+  double dual = sigma_ * log_z.value();
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    dual += eta[i] * nodes_[i].budget;
+  return dual;
+}
+
+std::vector<double> ExactGibbs::dual_gradient(
+    const std::vector<double>& eta) const {
+  const Marginals m = marginals(eta);
+  std::vector<double> grad(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    grad[i] = nodes_[i].budget - (m.alpha[i] * nodes_[i].listen_power +
+                                  m.beta[i] * nodes_[i].transmit_power);
+  return grad;
+}
+
+}  // namespace econcast::gibbs

@@ -1,0 +1,58 @@
+// Exact Gibbs distribution (19) over the full collision-free state space W
+// for an arbitrary heterogeneous clique. Cost is O(|W| * N) per evaluation
+// with |W| = (N+2) 2^(N-1); practical for N <= ~16, which covers every
+// heterogeneous experiment in the paper (N = 5, 10).
+//
+//   π^η_w  ∝  exp[ (T_w - Σ_{i: w_i=l} η_i L_i - Σ_{i: w_i=x} η_i X_i) / σ ]
+#ifndef ECONCAST_GIBBS_EXACT_H
+#define ECONCAST_GIBBS_EXACT_H
+
+#include <vector>
+
+#include "gibbs/marginals.h"
+#include "model/node_params.h"
+#include "model/state_space.h"
+
+namespace econcast::gibbs {
+
+class ExactGibbs {
+ public:
+  /// σ is the paper's temperature parameter (> 0).
+  ExactGibbs(model::NodeSet nodes, model::Mode mode, double sigma);
+
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  double sigma() const noexcept { return sigma_; }
+  model::Mode mode() const noexcept { return mode_; }
+  const model::NodeSet& nodes() const noexcept { return nodes_; }
+
+  /// Log-weight (unnormalized) of a single state at multipliers η.
+  double log_weight(const model::NetState& state,
+                    const std::vector<double>& eta) const;
+
+  /// All moments of π^η in one pass over W.
+  Marginals marginals(const std::vector<double>& eta) const;
+
+  /// Burst-state sums for eq. (34)/(35).
+  BurstSums burst_sums(const std::vector<double>& eta) const;
+
+  /// Full probability vector indexed by model::state_index (tests / small N).
+  std::vector<double> distribution(const std::vector<double>& eta) const;
+
+  /// Dual function D(η) = σ log Z_η + Σ_i η_i ρ_i (minimized over η >= 0 to
+  /// solve (P4); see §VI part (ii)).
+  double dual_value(const std::vector<double>& eta) const;
+
+  /// ∇D: grad_i = ρ_i - (α_i L_i + β_i X_i), eq. (22).
+  std::vector<double> dual_gradient(const std::vector<double>& eta) const;
+
+ private:
+  void check_eta(const std::vector<double>& eta) const;
+
+  model::NodeSet nodes_;
+  model::Mode mode_;
+  double sigma_;
+};
+
+}  // namespace econcast::gibbs
+
+#endif  // ECONCAST_GIBBS_EXACT_H

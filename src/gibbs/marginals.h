@@ -1,0 +1,29 @@
+// Shared result types for Gibbs-distribution computations (eq. (19)).
+#ifndef ECONCAST_GIBBS_MARGINALS_H
+#define ECONCAST_GIBBS_MARGINALS_H
+
+#include <vector>
+
+namespace econcast::gibbs {
+
+/// Moments of the Gibbs distribution π^η of eq. (19) at a fixed multiplier
+/// vector η. All log quantities use natural logarithms.
+struct Marginals {
+  double log_partition = 0.0;          // log Z_η
+  std::vector<double> alpha;           // P(node i listens)
+  std::vector<double> beta;            // P(node i transmits)
+  double expected_throughput = 0.0;    // Σ_w π_w T_w
+  double entropy = 0.0;                // -Σ_w π_w log π_w
+};
+
+/// Log-domain sums over the burst states W' = {w : ν_w = 1, c_w >= 1} needed
+/// by the burstiness analysis of Appendix E (eq. (34)).
+struct BurstSums {
+  double log_success_mass = 0.0;  // log Σ_{w in W'} π_w
+  double log_burst_rate = 0.0;    // log Σ_{w in W'} π_w exp(-c_w/σ)  (groupput)
+                                  //  or       π_w exp(-γ_w/σ)        (anyput)
+};
+
+}  // namespace econcast::gibbs
+
+#endif  // ECONCAST_GIBBS_MARGINALS_H

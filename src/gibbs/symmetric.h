@@ -1,0 +1,56 @@
+// Collapsed Gibbs distribution for homogeneous networks. With identical
+// (ρ, L, X) and a common multiplier η, the distribution (19) is exchangeable,
+// so states collapse to classes (ν, c) — transmitter present or not, c
+// listeners — with binomial multiplicities:
+//   ν=0: C(N, c) states,   ν=1: N * C(N-1, c) states.
+// Evaluation is O(N) instead of O((N+2) 2^(N-1) N), making small σ and large
+// N cheap (used by Figs. 3-5 and the homogeneous fast path of the P4 solver).
+#ifndef ECONCAST_GIBBS_SYMMETRIC_H
+#define ECONCAST_GIBBS_SYMMETRIC_H
+
+#include "gibbs/marginals.h"
+#include "model/node_params.h"
+#include "model/state_space.h"
+
+namespace econcast::gibbs {
+
+class SymmetricGibbs {
+ public:
+  SymmetricGibbs(std::size_t n, model::NodeParams params, model::Mode mode,
+                 double sigma);
+
+  std::size_t num_nodes() const noexcept { return n_; }
+  double sigma() const noexcept { return sigma_; }
+
+  /// Moments at a common scalar multiplier η (alpha/beta filled with the
+  /// shared per-node value).
+  Marginals marginals(double eta) const;
+
+  BurstSums burst_sums(double eta) const;
+
+  /// Dual D(η) = σ log Z_η + N η ρ and its derivative
+  /// D'(η) = N (ρ - (α L + β X)).
+  double dual_value(double eta) const;
+  double dual_derivative(double eta) const;
+
+  /// Minimizes D over η >= 0 (convex, 1-D): bisection on the monotone
+  /// derivative. Exact to `tol` (absolute, on η).
+  double solve_optimal_eta(double tol = 1e-12) const;
+
+ private:
+  // Log-weight of one *class* (including multiplicity) and of one state.
+  double class_log_weight(int nu, int c, double eta) const;
+  double state_log_weight(int nu, int c, double eta) const;
+  double class_throughput(int nu, int c) const;
+
+  std::size_t n_;
+  model::NodeParams params_;
+  model::Mode mode_;
+  double sigma_;
+  std::vector<double> log_choose_n_;    // log C(N, c)
+  std::vector<double> log_choose_nm1_;  // log C(N-1, c)
+};
+
+}  // namespace econcast::gibbs
+
+#endif  // ECONCAST_GIBBS_SYMMETRIC_H

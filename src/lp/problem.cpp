@@ -1,0 +1,37 @@
+#include "lp/problem.h"
+
+#include <stdexcept>
+
+namespace econcast::lp {
+
+Problem::Problem(std::size_t num_vars)
+    : num_vars_(num_vars), objective_(num_vars, 0.0) {
+  if (num_vars == 0) throw std::invalid_argument("LP with zero variables");
+}
+
+void Problem::set_objective(std::size_t var, double coeff) {
+  if (var >= num_vars_) throw std::out_of_range("objective variable index");
+  objective_[var] = coeff;
+}
+
+void Problem::add_constraint(
+    std::vector<std::pair<std::size_t, double>> terms, Relation rel,
+    double rhs) {
+  for (const auto& [idx, coeff] : terms) {
+    (void)coeff;
+    if (idx >= num_vars_) throw std::out_of_range("constraint variable index");
+  }
+  constraints_.push_back(Constraint{std::move(terms), rel, rhs});
+}
+
+void Problem::add_constraint_dense(const std::vector<double>& coeffs,
+                                   Relation rel, double rhs) {
+  if (coeffs.size() != num_vars_)
+    throw std::invalid_argument("dense constraint width mismatch");
+  std::vector<std::pair<std::size_t, double>> terms;
+  for (std::size_t i = 0; i < coeffs.size(); ++i)
+    if (coeffs[i] != 0.0) terms.emplace_back(i, coeffs[i]);
+  constraints_.push_back(Constraint{std::move(terms), rel, rhs});
+}
+
+}  // namespace econcast::lp

@@ -1,0 +1,56 @@
+// Linear program description: maximize c·x subject to row constraints and
+// x >= 0. This is the substrate for the oracle throughput computations
+// (P2), (P3) and the non-clique bounds of §IV — all of which are LPs with a
+// linear number of variables (the paper's reduction of (P1)).
+#ifndef ECONCAST_LP_PROBLEM_H
+#define ECONCAST_LP_PROBLEM_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace econcast::lp {
+
+enum class Relation { kLessEq, kEq, kGreaterEq };
+
+/// One linear constraint: sum_i coeffs[i] * x_i  (rel)  rhs.
+struct Constraint {
+  std::vector<std::pair<std::size_t, double>> terms;  // sparse (index, coeff)
+  Relation rel = Relation::kLessEq;
+  double rhs = 0.0;
+};
+
+/// LP in "maximize" orientation over non-negative variables.
+class Problem {
+ public:
+  explicit Problem(std::size_t num_vars);
+
+  std::size_t num_vars() const noexcept { return num_vars_; }
+  std::size_t num_constraints() const noexcept { return constraints_.size(); }
+
+  /// Sets the objective coefficient of variable `var`.
+  void set_objective(std::size_t var, double coeff);
+
+  /// Adds a constraint from sparse terms. Repeated indices are summed.
+  void add_constraint(std::vector<std::pair<std::size_t, double>> terms,
+                      Relation rel, double rhs);
+
+  /// Adds a dense-coefficient constraint (size must equal num_vars()).
+  void add_constraint_dense(const std::vector<double>& coeffs, Relation rel,
+                            double rhs);
+
+  const std::vector<double>& objective() const noexcept { return objective_; }
+  const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+
+ private:
+  std::size_t num_vars_;
+  std::vector<double> objective_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace econcast::lp
+
+#endif  // ECONCAST_LP_PROBLEM_H

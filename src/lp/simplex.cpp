@@ -1,0 +1,261 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace econcast::lp {
+namespace {
+
+// Tableau layout: m rows (constraints) over columns
+// [structural (n) | slack/surplus (s) | artificial (a) | rhs].
+// Row operations keep rhs >= 0; basis_[r] is the basic column of row r.
+class Tableau {
+ public:
+  Tableau(const Problem& p, const SimplexOptions& opt) : opt_(opt) {
+    n_ = p.num_vars();
+    m_ = p.num_constraints();
+
+    // Count auxiliary columns.
+    std::size_t slack = 0, artificial = 0;
+    for (const auto& c : p.constraints()) {
+      const double rhs_sign = c.rhs < 0.0 ? -1.0 : 1.0;
+      Relation rel = c.rel;
+      if (rhs_sign < 0.0) {  // normalize to rhs >= 0 by negating the row
+        if (rel == Relation::kLessEq)
+          rel = Relation::kGreaterEq;
+        else if (rel == Relation::kGreaterEq)
+          rel = Relation::kLessEq;
+      }
+      switch (rel) {
+        case Relation::kLessEq:
+          ++slack;
+          break;
+        case Relation::kGreaterEq:
+          ++slack;  // surplus
+          ++artificial;
+          break;
+        case Relation::kEq:
+          ++artificial;
+          break;
+      }
+    }
+    slack_begin_ = n_;
+    art_begin_ = n_ + slack;
+    cols_ = n_ + slack + artificial;
+    rhs_col_ = cols_;
+
+    a_.assign(m_ * (cols_ + 1), 0.0);
+    basis_.assign(m_, 0);
+
+    std::size_t next_slack = slack_begin_;
+    std::size_t next_art = art_begin_;
+    for (std::size_t r = 0; r < m_; ++r) {
+      const auto& c = p.constraints()[r];
+      const double sign = c.rhs < 0.0 ? -1.0 : 1.0;
+      Relation rel = c.rel;
+      if (sign < 0.0) {
+        if (rel == Relation::kLessEq)
+          rel = Relation::kGreaterEq;
+        else if (rel == Relation::kGreaterEq)
+          rel = Relation::kLessEq;
+      }
+      for (const auto& [idx, coeff] : c.terms) at(r, idx) += sign * coeff;
+      at(r, rhs_col_) = sign * c.rhs;
+      switch (rel) {
+        case Relation::kLessEq:
+          at(r, next_slack) = 1.0;
+          basis_[r] = next_slack++;
+          break;
+        case Relation::kGreaterEq:
+          at(r, next_slack) = -1.0;
+          ++next_slack;
+          at(r, next_art) = 1.0;
+          basis_[r] = next_art++;
+          break;
+        case Relation::kEq:
+          at(r, next_art) = 1.0;
+          basis_[r] = next_art++;
+          break;
+      }
+    }
+  }
+
+  SolveStatus run(const std::vector<double>& objective, Solution& out) {
+    const std::size_t max_iter =
+        opt_.max_iterations ? opt_.max_iterations : 50 * (m_ + cols_ + 1);
+
+    // ---- Phase 1: minimize sum of artificials (as maximize the negation).
+    if (art_begin_ < cols_) {
+      std::vector<double> cost(cols_, 0.0);
+      for (std::size_t j = art_begin_; j < cols_; ++j) cost[j] = -1.0;
+      build_objective_row(cost);
+      const SolveStatus st = iterate(max_iter, /*allow_art=*/true);
+      if (st != SolveStatus::kOptimal) return st;
+      if (obj_value() < -opt_.eps * 100) return SolveStatus::kInfeasible;
+      drive_artificials_out();
+    }
+
+    // ---- Phase 2: maximize the true objective over structural columns.
+    std::vector<double> cost(cols_, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) cost[j] = objective[j];
+    build_objective_row(cost);
+    const SolveStatus st = iterate(max_iter, /*allow_art=*/false);
+    if (st != SolveStatus::kOptimal) return st;
+
+    out.x.assign(n_, 0.0);
+    for (std::size_t r = 0; r < m_; ++r)
+      if (basis_[r] < n_) out.x[basis_[r]] = at(r, rhs_col_);
+    out.objective = obj_value();
+    return SolveStatus::kOptimal;
+  }
+
+ private:
+  double& at(std::size_t r, std::size_t c) noexcept {
+    return a_[r * (cols_ + 1) + c];
+  }
+  double at(std::size_t r, std::size_t c) const noexcept {
+    return a_[r * (cols_ + 1) + c];
+  }
+
+  // Reduced-cost row z_ (length cols_+1): z_[j] = c_B B^-1 A_j - c_j, stored
+  // so that a column with z_[j] < -eps improves the (maximization) objective.
+  void build_objective_row(const std::vector<double>& cost) {
+    cost_ = cost;
+    z_.assign(cols_ + 1, 0.0);
+    for (std::size_t j = 0; j <= cols_; ++j) {
+      double v = j < cols_ ? -cost[j] : 0.0;
+      for (std::size_t r = 0; r < m_; ++r) v += cost_[basis_[r]] * at(r, j);
+      z_[j] = v;
+    }
+  }
+
+  double obj_value() const noexcept { return z_[rhs_col_]; }
+
+  SolveStatus iterate(std::size_t max_iter, bool allow_art) {
+    bool bland = false;
+    std::size_t stall = 0;
+    for (std::size_t iter = 0; iter < max_iter; ++iter) {
+      // Entering column: most negative reduced cost (Dantzig) or first
+      // negative (Bland, once stalling is detected).
+      const std::size_t limit = allow_art ? cols_ : art_begin_;
+      std::size_t enter = cols_;
+      double best = -opt_.eps;
+      for (std::size_t j = 0; j < limit; ++j) {
+        if (z_[j] < best) {
+          best = z_[j];
+          enter = j;
+          if (bland) break;
+        }
+      }
+      if (enter == cols_) return SolveStatus::kOptimal;
+
+      // Leaving row: minimum ratio test (Bland tie-break on basis index).
+      std::size_t leave = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < m_; ++r) {
+        const double col = at(r, enter);
+        if (col > opt_.eps) {
+          const double ratio = at(r, rhs_col_) / col;
+          if (ratio < best_ratio - opt_.eps ||
+              (ratio < best_ratio + opt_.eps &&
+               (leave == m_ || basis_[r] < basis_[leave]))) {
+            best_ratio = ratio;
+            leave = r;
+          }
+        }
+      }
+      if (leave == m_) return SolveStatus::kUnbounded;
+
+      if (best_ratio < opt_.eps) {
+        if (++stall > m_ + cols_) bland = true;  // degenerate: anti-cycle
+      } else {
+        stall = 0;
+        bland = false;
+      }
+      pivot(leave, enter);
+    }
+    return SolveStatus::kIterationLimit;
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = at(row, col);
+    for (std::size_t j = 0; j <= cols_; ++j) at(row, j) /= p;
+    at(row, col) = 1.0;  // exact
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == row) continue;
+      const double f = at(r, col);
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j <= cols_; ++j) at(r, j) -= f * at(row, j);
+      at(r, col) = 0.0;  // exact
+    }
+    const double fz = z_[col];
+    if (fz != 0.0) {
+      for (std::size_t j = 0; j <= cols_; ++j) z_[j] -= fz * at(row, j);
+      z_[col] = 0.0;
+    }
+    basis_[row] = col;
+  }
+
+  // After phase 1, pivot any artificial still in the basis (at value ~0) out
+  // on a structural/slack column, so phase 2 never re-enters artificials.
+  void drive_artificials_out() {
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (basis_[r] < art_begin_) continue;
+      std::size_t col = cols_;
+      for (std::size_t j = 0; j < art_begin_; ++j) {
+        if (std::abs(at(r, j)) > opt_.eps) {
+          col = j;
+          break;
+        }
+      }
+      if (col != cols_) pivot(r, col);
+      // If no eligible column exists the row is redundant (all-zero over
+      // structurals with zero rhs); the artificial stays basic at zero,
+      // which is harmless because phase 2 never prices artificial columns.
+    }
+  }
+
+  SimplexOptions opt_;
+  std::size_t n_ = 0, m_ = 0, cols_ = 0;
+  std::size_t slack_begin_ = 0, art_begin_ = 0, rhs_col_ = 0;
+  std::vector<double> a_;       // m x (cols_+1) row-major tableau
+  std::vector<double> z_;       // reduced-cost row
+  std::vector<double> cost_;    // current cost vector (over all columns)
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+Solution solve(const Problem& problem, const SimplexOptions& options) {
+  Solution out;
+  if (problem.num_constraints() == 0) {
+    // Unconstrained over x >= 0: bounded only if all objective coeffs <= 0.
+    const auto& c = problem.objective();
+    const bool unbounded =
+        std::any_of(c.begin(), c.end(), [&](double v) { return v > options.eps; });
+    out.status = unbounded ? SolveStatus::kUnbounded : SolveStatus::kOptimal;
+    out.objective = 0.0;
+    out.x.assign(problem.num_vars(), 0.0);
+    return out;
+  }
+  Tableau tableau(problem, options);
+  out.status = tableau.run(problem.objective(), out);
+  return out;
+}
+
+const char* to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+}  // namespace econcast::lp

@@ -1,0 +1,34 @@
+// Dense two-phase primal simplex. Sized for this project's oracle LPs
+// (hundreds of variables/constraints); uses Dantzig pricing with a Bland's
+// rule fallback for anti-cycling.
+#ifndef ECONCAST_LP_SIMPLEX_H
+#define ECONCAST_LP_SIMPLEX_H
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/problem.h"
+
+namespace econcast::lp {
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  // primal values (size = num_vars) when optimal
+};
+
+struct SimplexOptions {
+  double eps = 1e-9;              // pivot / feasibility tolerance
+  std::size_t max_iterations = 0;  // 0 = automatic (50 * (m + n))
+};
+
+/// Solves the LP; `Solution.x` is meaningful only when status == kOptimal.
+Solution solve(const Problem& problem, const SimplexOptions& options = {});
+
+const char* to_string(SolveStatus status) noexcept;
+
+}  // namespace econcast::lp
+
+#endif  // ECONCAST_LP_SIMPLEX_H

@@ -1,0 +1,68 @@
+#include "model/node_params.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace econcast::model {
+
+void NodeParams::validate() const {
+  if (!(budget > 0.0) || !std::isfinite(budget))
+    throw std::invalid_argument("NodeParams: budget must be positive");
+  if (!(listen_power > 0.0) || !std::isfinite(listen_power))
+    throw std::invalid_argument("NodeParams: listen_power must be positive");
+  if (!(transmit_power > 0.0) || !std::isfinite(transmit_power))
+    throw std::invalid_argument("NodeParams: transmit_power must be positive");
+}
+
+NodeSet homogeneous(std::size_t n, double budget, double listen_power,
+                    double transmit_power) {
+  NodeParams p{budget, listen_power, transmit_power};
+  p.validate();
+  return NodeSet(n, p);
+}
+
+bool is_homogeneous(const NodeSet& nodes, double tol) {
+  if (nodes.size() <= 1) return true;
+  const auto& first = nodes.front();
+  auto close = [tol](double a, double b) {
+    const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+    return std::abs(a - b) <= tol * scale;
+  };
+  for (const auto& p : nodes) {
+    if (!close(p.budget, first.budget) ||
+        !close(p.listen_power, first.listen_power) ||
+        !close(p.transmit_power, first.transmit_power))
+      return false;
+  }
+  return true;
+}
+
+NodeSet sample_heterogeneous(std::size_t n, double h, util::Rng& rng) {
+  if (h < 10.0 || h > 250.0)
+    throw std::invalid_argument("heterogeneity h must be in [10, 250]");
+  NodeSet nodes;
+  nodes.reserve(n);
+  const double lo = 510.0 - h;
+  const double hi = 490.0 + h;
+  const double lh_lo = -std::log(h / 100.0);
+  const double lh_hi = std::log(h);
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeParams p;
+    // h = 10 makes [lo, hi] = [500, 500]: uniform() on a zero-width interval
+    // returns the single point, reproducing the homogeneous network.
+    p.listen_power = rng.uniform(lo, hi);
+    p.transmit_power = rng.uniform(lo, hi);
+    p.budget = std::exp(rng.uniform(lh_lo, lh_hi));
+    p.validate();
+    nodes.push_back(p);
+  }
+  return nodes;
+}
+
+void validate(const NodeSet& nodes) {
+  if (nodes.empty()) throw std::invalid_argument("empty NodeSet");
+  for (const auto& p : nodes) p.validate();
+}
+
+}  // namespace econcast::model

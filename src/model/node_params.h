@@ -1,0 +1,50 @@
+// Per-node energy model (§III-A): power budget ρ, listen power L, transmit
+// power X. Sleep power is 0 by the paper's normalization (a non-zero sleep
+// draw is folded into ρ/L/X, footnote 2).
+//
+// Powers are unit-agnostic: every quantity in this project depends only on
+// the ratios between ρ, L and X (the paper makes the same observation in
+// §VII-A), so callers may pass µW, mW or W as long as they are consistent.
+#ifndef ECONCAST_MODEL_NODE_PARAMS_H
+#define ECONCAST_MODEL_NODE_PARAMS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.h"
+
+namespace econcast::model {
+
+struct NodeParams {
+  double budget = 0.0;          // ρ_i: long-run power budget
+  double listen_power = 0.0;    // L_i: draw in listen/receive state
+  double transmit_power = 0.0;  // X_i: draw in transmit state
+
+  /// Validates ρ > 0, L > 0, X > 0 (throws std::invalid_argument).
+  void validate() const;
+};
+
+/// The heterogeneous node collection a network is built from.
+using NodeSet = std::vector<NodeParams>;
+
+/// n identical nodes (the paper's homogeneous setting ρ_i=ρ, L_i=L, X_i=X).
+NodeSet homogeneous(std::size_t n, double budget, double listen_power,
+                    double transmit_power);
+
+/// True when all nodes share identical parameters (within `tol` relative).
+bool is_homogeneous(const NodeSet& nodes, double tol = 1e-12);
+
+/// The paper's heterogeneity sampling process (§VII-B), parameterized by
+/// h ∈ [10, 250]:
+///   L_i, X_i ~ U[510-h, 490+h] µW   (mean 500 µW for every h)
+///   h'      ~ U[-ln(h/100), ln h],  ρ_i = exp(h') µW  (median 10 µW)
+/// h = 10 degenerates to the homogeneous network (L=X=500 µW, ρ=10 µW).
+/// Returned values are in µW.
+NodeSet sample_heterogeneous(std::size_t n, double h, util::Rng& rng);
+
+/// Validates every node in the set.
+void validate(const NodeSet& nodes);
+
+}  // namespace econcast::model
+
+#endif  // ECONCAST_MODEL_NODE_PARAMS_H

@@ -1,0 +1,81 @@
+#include "model/state_space.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace econcast::model {
+
+const char* to_string(Mode mode) noexcept {
+  return mode == Mode::kGroupput ? "groupput" : "anyput";
+}
+
+int NetState::listener_count() const noexcept {
+  return std::popcount(listeners);
+}
+
+double state_throughput(const NetState& state, Mode mode) noexcept {
+  if (!state.has_transmitter()) return 0.0;  // ν_w = 0
+  if (mode == Mode::kGroupput)
+    return static_cast<double>(state.listener_count());
+  return state.any_listener() ? 1.0 : 0.0;
+}
+
+std::uint64_t state_space_size(std::size_t n) noexcept {
+  if (n == 0) return 1;
+  return (static_cast<std::uint64_t>(n) + 2) << (n - 1);
+}
+
+namespace {
+void check_n(std::size_t n) {
+  if (n == 0 || n > 24)
+    throw std::invalid_argument("state space enumeration requires 1 <= N <= 24");
+}
+}  // namespace
+
+void for_each_state(std::size_t n,
+                    const std::function<void(const NetState&)>& fn) {
+  check_n(n);
+  const std::uint64_t full = n == 64 ? ~0ULL : (1ULL << n) - 1;
+  // No transmitter: any subset of nodes listens.
+  for (std::uint64_t mask = 0; mask <= full; ++mask)
+    fn(NetState{-1, mask});
+  // Transmitter i: any subset of the other nodes listens.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t self = 1ULL << i;
+    for (std::uint64_t mask = 0; mask <= full; ++mask) {
+      if (mask & self) continue;
+      fn(NetState{static_cast<int>(i), mask});
+    }
+  }
+}
+
+std::uint64_t state_index(std::size_t n, const NetState& state) {
+  check_n(n);
+  const std::uint64_t half = 1ULL << (n - 1);
+  if (!state.has_transmitter()) return state.listeners;
+  const auto tx = static_cast<std::size_t>(state.transmitter);
+  if (tx >= n) throw std::out_of_range("state transmitter index");
+  if (state.listeners & (1ULL << tx))
+    throw std::invalid_argument("transmitter cannot also listen");
+  // Compress the listener mask by removing the transmitter's bit position.
+  const std::uint64_t low = state.listeners & ((1ULL << tx) - 1);
+  const std::uint64_t high = state.listeners >> (tx + 1);
+  const std::uint64_t compressed = low | (high << tx);
+  return (1ULL << n) + static_cast<std::uint64_t>(tx) * half + compressed;
+}
+
+NetState state_at_index(std::size_t n, std::uint64_t index) {
+  check_n(n);
+  const std::uint64_t no_tx_count = 1ULL << n;
+  if (index < no_tx_count) return NetState{-1, index};
+  index -= no_tx_count;
+  const std::uint64_t half = 1ULL << (n - 1);
+  const auto tx = static_cast<std::size_t>(index / half);
+  if (tx >= n) throw std::out_of_range("state index out of range");
+  const std::uint64_t compressed = index % half;
+  const std::uint64_t low = compressed & ((1ULL << tx) - 1);
+  const std::uint64_t high = compressed >> tx;
+  return NetState{static_cast<int>(tx), low | (high << (tx + 1))};
+}
+
+}  // namespace econcast::model

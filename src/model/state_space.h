@@ -1,0 +1,54 @@
+// The collision-free network state space W of §III-C: each node is in
+// sleep/listen/transmit and at most one node transmits, giving
+// |W| = (N+2) * 2^(N-1) states. This is the domain of the Gibbs
+// distribution (19) and of the (P4) achievability machinery.
+#ifndef ECONCAST_MODEL_STATE_SPACE_H
+#define ECONCAST_MODEL_STATE_SPACE_H
+
+#include <cstdint>
+#include <functional>
+
+#include "model/node_params.h"
+
+namespace econcast::model {
+
+/// Which broadcast throughput the system optimizes (§I / Definition 1-2).
+enum class Mode {
+  kGroupput,  // each delivered bit counted once per receiver
+  kAnyput,    // each delivered bit counted once if >= 1 receiver
+};
+
+const char* to_string(Mode mode) noexcept;
+
+/// One collision-free network state. `transmitter < 0` means nobody
+/// transmits; `listeners` is a bitmask over all N nodes (the transmitter's
+/// bit is always clear). Nodes that neither transmit nor listen sleep.
+struct NetState {
+  int transmitter = -1;
+  std::uint64_t listeners = 0;
+
+  bool has_transmitter() const noexcept { return transmitter >= 0; }
+  int listener_count() const noexcept;          // c_w
+  bool any_listener() const noexcept { return listeners != 0; }  // γ_w
+};
+
+/// ν_w · c_w (groupput) or ν_w · γ_w (anyput) — Definition 3, eq. (3).
+double state_throughput(const NetState& state, Mode mode) noexcept;
+
+/// Exact |W| = (N+2) * 2^(N-1).
+std::uint64_t state_space_size(std::size_t n) noexcept;
+
+/// Enumerates every state of W for an N-node clique, invoking `fn` once per
+/// state. Enumeration order is deterministic: first the no-transmitter
+/// states (listener mask ascending), then transmitter 0..N-1 each with its
+/// listener masks ascending. N must be <= 24 (enumeration cost).
+void for_each_state(std::size_t n, const std::function<void(const NetState&)>& fn);
+
+/// Dense index of a state within the enumeration order above (useful for
+/// storing per-state vectors). Inverse of `state_at_index`.
+std::uint64_t state_index(std::size_t n, const NetState& state);
+NetState state_at_index(std::size_t n, std::uint64_t index);
+
+}  // namespace econcast::model
+
+#endif  // ECONCAST_MODEL_STATE_SPACE_H

@@ -1,0 +1,146 @@
+#include "oracle/clique_oracle.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "lp/simplex.h"
+
+namespace econcast::oracle {
+
+namespace {
+
+// Shared constraints (9)-(11) over variables [α_0..α_{N-1}, β_0..β_{N-1}].
+void add_common_constraints(lp::Problem& p, const model::NodeSet& nodes) {
+  const std::size_t n = nodes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // (9) power budget.
+    p.add_constraint({{i, nodes[i].listen_power}, {n + i, nodes[i].transmit_power}},
+                     lp::Relation::kLessEq, nodes[i].budget);
+    // (10) a node occupies one state at a time.
+    p.add_constraint({{i, 1.0}, {n + i, 1.0}}, lp::Relation::kLessEq, 1.0);
+  }
+  // (11) collision-free clique: at most one transmitter at any time.
+  std::vector<std::pair<std::size_t, double>> sum_beta;
+  for (std::size_t i = 0; i < n; ++i) sum_beta.emplace_back(n + i, 1.0);
+  p.add_constraint(std::move(sum_beta), lp::Relation::kLessEq, 1.0);
+}
+
+OracleSolution extract(const lp::Solution& sol, std::size_t n,
+                       const char* which) {
+  if (sol.status != lp::SolveStatus::kOptimal)
+    throw std::runtime_error(std::string("oracle LP failed (") + which +
+                             "): " + lp::to_string(sol.status));
+  OracleSolution out;
+  out.throughput = sol.objective;
+  out.alpha.assign(sol.x.begin(), sol.x.begin() + static_cast<long>(n));
+  out.beta.assign(sol.x.begin() + static_cast<long>(n),
+                  sol.x.begin() + static_cast<long>(2 * n));
+  return out;
+}
+
+}  // namespace
+
+OracleSolution groupput(const model::NodeSet& nodes) {
+  model::validate(nodes);
+  const std::size_t n = nodes.size();
+  lp::Problem p(2 * n);
+  for (std::size_t i = 0; i < n; ++i) p.set_objective(i, 1.0);
+  add_common_constraints(p, nodes);
+  // (12) node i can usefully listen only while some other node transmits.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::pair<std::size_t, double>> terms{{i, 1.0}};
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) terms.emplace_back(n + j, -1.0);
+    p.add_constraint(std::move(terms), lp::Relation::kLessEq, 0.0);
+  }
+  return extract(lp::solve(p), n, "P2/groupput");
+}
+
+OracleSolution anyput(const model::NodeSet& nodes) {
+  model::validate(nodes);
+  const std::size_t n = nodes.size();
+  if (n < 2) {
+    // A single node has nobody to deliver to.
+    OracleSolution out;
+    out.alpha.assign(n, 0.0);
+    out.beta.assign(n, 0.0);
+    return out;
+  }
+  // Variables: α (n), β (n), then χ_{i,j} for i != j in row-major order
+  // with the diagonal skipped.
+  const std::size_t chi_base = 2 * n;
+  auto chi = [n, chi_base](std::size_t i, std::size_t j) {
+    const std::size_t col = j > i ? j - 1 : j;  // skip the diagonal
+    return chi_base + i * (n - 1) + col;
+  };
+  lp::Problem p(2 * n + n * (n - 1));
+  for (std::size_t i = 0; i < n; ++i) p.set_objective(n + i, 1.0);
+  add_common_constraints(p, nodes);
+  for (std::size_t i = 0; i < n; ++i) {
+    // (14) every transmission must be covered by at least one receiver.
+    std::vector<std::pair<std::size_t, double>> cover{{n + i, 1.0}};
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) cover.emplace_back(chi(i, j), -1.0);
+    p.add_constraint(std::move(cover), lp::Relation::kLessEq, 0.0);
+    // (15) listen time of node i exactly covers the receptions it takes.
+    std::vector<std::pair<std::size_t, double>> listen{{i, 1.0}};
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) listen.emplace_back(chi(j, i), -1.0);
+    p.add_constraint(std::move(listen), lp::Relation::kEq, 0.0);
+  }
+  return extract(lp::solve(p), n, "P3/anyput");
+}
+
+OracleSolution solve(const model::NodeSet& nodes, model::Mode mode) {
+  return mode == model::Mode::kGroupput ? groupput(nodes) : anyput(nodes);
+}
+
+namespace {
+void check_constrained(double awake_fraction) {
+  if (awake_fraction > 1.0)
+    throw std::domain_error(
+        "closed form requires a sufficiently energy-constrained network "
+        "(awake fraction <= 1); use the LP instead");
+}
+}  // namespace
+
+OracleSolution homogeneous_groupput_closed_form(std::size_t n, double budget,
+                                                double listen_power,
+                                                double transmit_power) {
+  if (n < 2) throw std::invalid_argument("need N >= 2");
+  const double nd = static_cast<double>(n);
+  const double beta =
+      budget / (transmit_power + (nd - 1.0) * listen_power);
+  const double alpha = (nd - 1.0) * beta;
+  check_constrained(alpha + beta);
+  if (nd * beta > 1.0)
+    throw std::domain_error("closed form requires Σβ <= 1; use the LP");
+  OracleSolution out;
+  out.throughput = nd * alpha;
+  out.alpha.assign(n, alpha);
+  out.beta.assign(n, beta);
+  return out;
+}
+
+OracleSolution homogeneous_anyput_closed_form(std::size_t n, double budget,
+                                              double listen_power,
+                                              double transmit_power) {
+  if (n < 2) throw std::invalid_argument("need N >= 2");
+  const double nd = static_cast<double>(n);
+  const double beta = budget / (transmit_power + listen_power);
+  check_constrained(2.0 * beta);
+  if (nd * beta > 1.0)
+    throw std::domain_error("closed form requires Σβ <= 1; use the LP");
+  OracleSolution out;
+  out.throughput = nd * beta;
+  out.alpha.assign(n, beta);
+  out.beta.assign(n, beta);
+  return out;
+}
+
+double unconstrained_oracle(std::size_t n, model::Mode mode) noexcept {
+  if (n < 2) return 0.0;
+  return mode == model::Mode::kGroupput ? static_cast<double>(n - 1) : 1.0;
+}
+
+}  // namespace econcast::oracle

@@ -1,0 +1,55 @@
+// Oracle (maximum achievable) throughput in a clique, §IV-A/B: the paper's
+// polynomial-size reformulations (P2) for groupput and (P3) for anyput of the
+// exponential LP (P1), plus the homogeneous closed forms of Appendix B.
+#ifndef ECONCAST_ORACLE_CLIQUE_ORACLE_H
+#define ECONCAST_ORACLE_CLIQUE_ORACLE_H
+
+#include <vector>
+
+#include "model/node_params.h"
+#include "model/state_space.h"
+
+namespace econcast::oracle {
+
+/// Solution of an oracle problem: the optimal value and the per-node listen
+/// and transmit time fractions that achieve it.
+struct OracleSolution {
+  double throughput = 0.0;
+  std::vector<double> alpha;  // listen fraction per node
+  std::vector<double> beta;   // transmit fraction per node
+};
+
+/// Oracle groupput T*_g by solving (P2):
+///   max Σ α_i  s.t. (9) α_i L_i + β_i X_i <= ρ_i, (10) α_i + β_i <= 1,
+///                   (11) Σ β_i <= 1, (12) α_i <= Σ_{j≠i} β_j.
+/// Throws std::runtime_error if the LP solver fails (cannot happen for valid
+/// inputs: the zero solution is always feasible).
+OracleSolution groupput(const model::NodeSet& nodes);
+
+/// Oracle anyput T*_a by solving (P3) with flow variables χ_{i,j}:
+///   max Σ β_i  s.t. (9)-(11), (14) β_i <= Σ_{j≠i} χ_{i,j},
+///                   (15) α_j = Σ_{i≠j} χ_{i,j}.
+OracleSolution anyput(const model::NodeSet& nodes);
+
+/// Dispatch on mode.
+OracleSolution solve(const model::NodeSet& nodes, model::Mode mode);
+
+/// Closed forms for homogeneous, sufficiently energy-constrained networks
+/// (§IV-A/B): groupput β* = ρ/(X + (N-1)L), α* = (N-1)β*, T*_g = Nα*;
+/// anyput α* = β* = ρ/(X+L), T*_a = Nβ*. Valid when the power constraint
+/// dominates the awake-time constraint (10); callers in that regime can skip
+/// the LP. Throws std::domain_error outside that regime.
+OracleSolution homogeneous_groupput_closed_form(std::size_t n, double budget,
+                                                double listen_power,
+                                                double transmit_power);
+OracleSolution homogeneous_anyput_closed_form(std::size_t n, double budget,
+                                              double listen_power,
+                                              double transmit_power);
+
+/// Oracle throughput with no energy constraint (§III-C): N-1 for groupput,
+/// 1 for anyput.
+double unconstrained_oracle(std::size_t n, model::Mode mode) noexcept;
+
+}  // namespace econcast::oracle
+
+#endif  // ECONCAST_ORACLE_CLIQUE_ORACLE_H

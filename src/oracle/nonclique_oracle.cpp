@@ -1,0 +1,63 @@
+#include "oracle/nonclique_oracle.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "lp/simplex.h"
+
+namespace econcast::oracle {
+
+namespace {
+
+OracleSolution solve_bound(const model::NodeSet& nodes,
+                           const model::Topology& topology,
+                           bool include_single_transmitter_constraint) {
+  const std::size_t n = nodes.size();
+  lp::Problem p(2 * n);
+  for (std::size_t i = 0; i < n; ++i) p.set_objective(i, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.add_constraint(
+        {{i, nodes[i].listen_power}, {n + i, nodes[i].transmit_power}},
+        lp::Relation::kLessEq, nodes[i].budget);
+    p.add_constraint({{i, 1.0}, {n + i, 1.0}}, lp::Relation::kLessEq, 1.0);
+    // Neighborhood form of (12): node i hears only its neighbors.
+    std::vector<std::pair<std::size_t, double>> terms{{i, 1.0}};
+    for (const std::size_t j : topology.neighbors(i))
+      terms.emplace_back(n + j, -1.0);
+    p.add_constraint(std::move(terms), lp::Relation::kLessEq, 0.0);
+  }
+  if (include_single_transmitter_constraint) {
+    std::vector<std::pair<std::size_t, double>> sum_beta;
+    for (std::size_t i = 0; i < n; ++i) sum_beta.emplace_back(n + i, 1.0);
+    p.add_constraint(std::move(sum_beta), lp::Relation::kLessEq, 1.0);
+  }
+  const lp::Solution sol = lp::solve(p);
+  if (sol.status != lp::SolveStatus::kOptimal)
+    throw std::runtime_error("non-clique oracle LP failed");
+  OracleSolution out;
+  out.throughput = sol.objective;
+  out.alpha.assign(sol.x.begin(), sol.x.begin() + static_cast<long>(n));
+  out.beta.assign(sol.x.begin() + static_cast<long>(n),
+                  sol.x.begin() + static_cast<long>(2 * n));
+  return out;
+}
+
+}  // namespace
+
+bool NoncliqueBounds::tight(double tol) const noexcept {
+  const double scale = std::max(upper.throughput, 1e-300);
+  return (upper.throughput - lower.throughput) / scale <= tol;
+}
+
+NoncliqueBounds nonclique_groupput(const model::NodeSet& nodes,
+                                   const model::Topology& topology) {
+  model::validate(nodes);
+  if (nodes.size() != topology.size())
+    throw std::invalid_argument("nodes/topology size mismatch");
+  NoncliqueBounds out;
+  out.lower = solve_bound(nodes, topology, /*include_single_tx=*/true);
+  out.upper = solve_bound(nodes, topology, /*include_single_tx=*/false);
+  return out;
+}
+
+}  // namespace econcast::oracle

@@ -1,0 +1,34 @@
+// Non-clique oracle groupput bounds of §IV-C. Exact maximum groupput is hard
+// outside cliques (spatial reuse + hidden collisions), so the paper bounds it:
+//   lower bound: (P2) with (12) replaced by the neighborhood form
+//                α_i <= Σ_{j in N(i)} β_j, keeping (11) (a clique-style,
+//                reuse-free schedule is always realizable);
+//   upper bound: same neighborhood constraint but (11) removed (allowing
+//                arbitrary concurrent transmissions).
+// When both coincide (they do for the paper's grids, Fig. 6) the exact
+// T*_nc is known.
+#ifndef ECONCAST_ORACLE_NONCLIQUE_ORACLE_H
+#define ECONCAST_ORACLE_NONCLIQUE_ORACLE_H
+
+#include "model/network.h"
+#include "model/node_params.h"
+#include "oracle/clique_oracle.h"
+
+namespace econcast::oracle {
+
+struct NoncliqueBounds {
+  OracleSolution lower;   // T*_nc lower bound (achievable)
+  OracleSolution upper;   // T*_nc upper bound
+  /// True when upper and lower agree within `tol` (relative), i.e. the exact
+  /// non-clique oracle groupput is pinned down.
+  bool tight(double tol = 1e-6) const noexcept;
+};
+
+/// Computes both bounds for groupput on an arbitrary topology. `nodes` and
+/// `topology` must have the same size.
+NoncliqueBounds nonclique_groupput(const model::NodeSet& nodes,
+                                   const model::Topology& topology);
+
+}  // namespace econcast::oracle
+
+#endif  // ECONCAST_ORACLE_NONCLIQUE_ORACLE_H

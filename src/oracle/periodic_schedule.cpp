@@ -1,0 +1,140 @@
+#include "oracle/periodic_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace econcast::oracle {
+
+double PeriodicSchedule::groupput() const noexcept {
+  if (period <= 0) return 0.0;
+  std::int64_t listens = 0;
+  for (const auto& node_actions : actions)
+    listens += std::count(node_actions.begin(), node_actions.end(),
+                          SlotAction::kListen);
+  return static_cast<double>(listens) / static_cast<double>(period);
+}
+
+double PeriodicSchedule::accumulation_slots(const model::NodeSet& nodes,
+                                            std::size_t i) const {
+  if (i >= actions.size()) throw std::out_of_range("node index");
+  const auto& p = nodes.at(i);
+  double energy = 0.0;        // running balance relative to start of period
+  double worst_deficit = 0.0; // most negative balance seen
+  for (std::int64_t s = 0; s < period; ++s) {
+    double spend = 0.0;
+    switch (actions[i][static_cast<std::size_t>(s)]) {
+      case SlotAction::kListen:
+        spend = p.listen_power;
+        break;
+      case SlotAction::kTransmit:
+        spend = p.transmit_power;
+        break;
+      case SlotAction::kSleep:
+        break;
+    }
+    energy += p.budget - spend;
+    worst_deficit = std::min(worst_deficit, energy);
+  }
+  return -worst_deficit / p.budget;
+}
+
+PeriodicSchedule build_periodic_schedule(const model::NodeSet& nodes,
+                                         const OracleSolution& solution,
+                                         std::int64_t grid) {
+  model::validate(nodes);
+  const std::size_t n = nodes.size();
+  if (solution.alpha.size() != n || solution.beta.size() != n)
+    throw std::invalid_argument("solution size mismatch");
+  if (grid < 1) throw std::invalid_argument("grid must be >= 1");
+
+  const double gridf = static_cast<double>(grid);
+  // Quantize downward; a tiny epsilon absorbs LP round-off just below an
+  // integer (e.g. alpha*grid = 79.999999994 means 80 slots).
+  auto floor_slots = [gridf](double fraction) {
+    return static_cast<std::int64_t>(std::floor(fraction * gridf + 1e-9));
+  };
+  std::vector<std::int64_t> tx_slots(n), listen_slots(n);
+  std::int64_t total_tx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    tx_slots[i] = std::max<std::int64_t>(0, floor_slots(solution.beta[i]));
+    total_tx += tx_slots[i];
+  }
+  if (total_tx > grid)
+    throw std::invalid_argument("solution violates (11): Σβ > 1");
+  for (std::size_t i = 0; i < n; ++i) {
+    listen_slots[i] = std::max<std::int64_t>(0, floor_slots(solution.alpha[i]));
+    // Preserve (12) after quantization: cannot listen more than others send.
+    listen_slots[i] = std::min(listen_slots[i], total_tx - tx_slots[i]);
+  }
+
+  PeriodicSchedule sched;
+  sched.period = grid;
+  sched.actions.assign(
+      n, std::vector<SlotAction>(static_cast<std::size_t>(grid),
+                                 SlotAction::kSleep));
+
+  // Transmit slots packed in node order at the head of the period.
+  std::vector<int> slot_owner(static_cast<std::size_t>(grid), -1);
+  std::int64_t cursor = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::int64_t k = 0; k < tx_slots[i]; ++k, ++cursor) {
+      slot_owner[static_cast<std::size_t>(cursor)] = static_cast<int>(i);
+      sched.actions[i][static_cast<std::size_t>(cursor)] =
+          SlotAction::kTransmit;
+    }
+  }
+  // Each listener takes the first listen_slots[i] transmit slots not its own.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t needed = listen_slots[i];
+    for (std::int64_t s = 0; s < total_tx && needed > 0; ++s) {
+      const auto su = static_cast<std::size_t>(s);
+      if (slot_owner[su] != static_cast<int>(i)) {
+        sched.actions[i][su] = SlotAction::kListen;
+        --needed;
+      }
+    }
+  }
+  return sched;
+}
+
+ScheduleCheck verify_schedule(const model::NodeSet& nodes,
+                              const PeriodicSchedule& schedule) {
+  ScheduleCheck check;
+  const std::size_t n = schedule.actions.size();
+  if (nodes.size() != n) throw std::invalid_argument("size mismatch");
+  const auto period = static_cast<std::size_t>(schedule.period);
+
+  std::vector<double> spent(n, 0.0);
+  std::int64_t receptions = 0;
+  for (std::size_t s = 0; s < period; ++s) {
+    int transmitters = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (schedule.actions[i][s] == SlotAction::kTransmit) ++transmitters;
+    if (transmitters > 1) check.collision_free = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (schedule.actions[i][s]) {
+        case SlotAction::kListen:
+          spent[i] += nodes[i].listen_power;
+          if (transmitters != 1) check.listeners_covered = false;
+          else ++receptions;
+          break;
+        case SlotAction::kTransmit:
+          spent[i] += nodes[i].transmit_power;
+          break;
+        case SlotAction::kSleep:
+          break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double allowance =
+        nodes[i].budget * static_cast<double>(schedule.period);
+    if (spent[i] > allowance * (1.0 + 1e-9)) check.budget_respected = false;
+  }
+  check.groupput = static_cast<double>(receptions) /
+                   static_cast<double>(schedule.period);
+  return check;
+}
+
+}  // namespace econcast::oracle

@@ -1,0 +1,108 @@
+#include "sim/channel.h"
+
+#include <stdexcept>
+
+namespace econcast::sim {
+
+Channel::Channel(const model::Topology& topology)
+    : topo_(topology),
+      listening_(topology.size(), 0),
+      transmitting_(topology.size(), 0),
+      busy_count_(topology.size(), 0),
+      lock_tx_(topology.size(), -1),
+      corrupt_(topology.size(), 0),
+      toggled_flag_(topology.size(), 0) {}
+
+void Channel::mark_toggled(std::size_t node) {
+  if (!toggled_flag_[node]) {
+    toggled_flag_[node] = 1;
+    toggled_.push_back(node);
+  }
+}
+
+void Channel::set_listening(std::size_t node, bool listening) {
+  if (listening && transmitting_[node])
+    throw std::logic_error("transmitting node cannot listen");
+  listening_[node] = listening ? 1 : 0;
+  if (!listening) {
+    lock_tx_[node] = -1;
+    corrupt_[node] = 0;
+  }
+}
+
+bool Channel::is_listening(std::size_t node) const {
+  return listening_[node] != 0;
+}
+
+void Channel::begin_burst(std::size_t tx) {
+  if (transmitting_[tx]) throw std::logic_error("already transmitting");
+  if (busy_count_[tx] > 0)
+    throw std::logic_error("carrier sense violated: medium busy at tx");
+  if (listening_[tx]) listening_[tx] = 0;  // leaves listen to transmit
+  transmitting_[tx] = 1;
+  ++active_tx_;
+  for (const std::size_t j : topo_.neighbors(tx)) {
+    if (++busy_count_[j] == 1) mark_toggled(j);
+    // A second carrier corrupts any reception in progress at j.
+    if (busy_count_[j] >= 2 && lock_tx_[j] != -1) corrupt_[j] = 1;
+  }
+}
+
+void Channel::begin_packet(std::size_t tx) {
+  if (!transmitting_[tx]) throw std::logic_error("begin_packet without burst");
+  for (const std::size_t j : topo_.neighbors(tx)) {
+    if (listening_[j] && busy_count_[j] == 1 && lock_tx_[j] == -1) {
+      lock_tx_[j] = static_cast<int>(tx);
+      corrupt_[j] = 0;
+    }
+  }
+}
+
+Channel::PacketOutcome Channel::end_packet(std::size_t tx) {
+  if (!transmitting_[tx]) throw std::logic_error("end_packet without burst");
+  PacketOutcome out;
+  for (const std::size_t j : topo_.neighbors(tx)) {
+    if (lock_tx_[j] == static_cast<int>(tx)) {
+      if (corrupt_[j]) {
+        ++out.corrupted;
+      } else {
+        out.clean_receivers.push_back(j);
+      }
+      lock_tx_[j] = -1;
+      corrupt_[j] = 0;
+    }
+  }
+  return out;
+}
+
+void Channel::end_burst(std::size_t tx) {
+  if (!transmitting_[tx]) throw std::logic_error("end_burst without burst");
+  transmitting_[tx] = 0;
+  --active_tx_;
+  for (const std::size_t j : topo_.neighbors(tx)) {
+    if (--busy_count_[j] == 0) mark_toggled(j);
+  }
+}
+
+bool Channel::busy_at(std::size_t node) const {
+  return busy_count_[node] > 0;
+}
+
+bool Channel::is_transmitting(std::size_t node) const {
+  return transmitting_[node] != 0;
+}
+
+int Channel::listening_neighbors(std::size_t node) const {
+  int count = 0;
+  for (const std::size_t j : topo_.neighbors(node)) count += listening_[j];
+  return count;
+}
+
+std::vector<std::size_t> Channel::drain_toggled() {
+  for (const std::size_t n : toggled_) toggled_flag_[n] = 0;
+  std::vector<std::size_t> out;
+  out.swap(toggled_);
+  return out;
+}
+
+}  // namespace econcast::sim

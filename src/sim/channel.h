@@ -1,0 +1,78 @@
+// Shared-medium bookkeeping on an arbitrary topology: per-node carrier sense
+// (A_i(t) of §V-E), reception locking, and the non-clique corruption rule of
+// §VII-E (a reception overlapped by a second in-range transmission is voided).
+//
+// The channel tracks who transmits and who listens; the protocol layer asks
+// for packet outcomes and drains busy-toggle notifications to re-sample
+// exponential transitions.
+#ifndef ECONCAST_SIM_CHANNEL_H
+#define ECONCAST_SIM_CHANNEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "model/network.h"
+
+namespace econcast::sim {
+
+class Channel {
+ public:
+  explicit Channel(const model::Topology& topology);
+
+  // --- listen-state notifications (from the protocol layer) -------------
+  /// Must only be called while the node senses an idle medium (the protocol
+  /// gates wake-ups on A_i(t)); entering listen mid-packet is a logic error
+  /// for neighbors of an active transmitter.
+  void set_listening(std::size_t node, bool listening);
+  bool is_listening(std::size_t node) const;
+
+  // --- transmissions -----------------------------------------------------
+  /// Starts a burst: raises carrier for all neighbors. The transmitter must
+  /// currently sense an idle medium and not be listening.
+  void begin_burst(std::size_t tx);
+
+  /// Starts one packet inside an ongoing burst: locks every neighbor that is
+  /// listening, hears only this transmitter, and is not already mid-packet.
+  void begin_packet(std::size_t tx);
+
+  struct PacketOutcome {
+    std::vector<std::size_t> clean_receivers;  // got the whole packet, no overlap
+    std::uint32_t corrupted = 0;               // receptions voided by overlap
+  };
+
+  /// Ends the current packet of `tx`, returning who received it cleanly.
+  PacketOutcome end_packet(std::size_t tx);
+
+  /// Ends the burst: drops carrier for all neighbors.
+  void end_burst(std::size_t tx);
+
+  // --- queries -------------------------------------------------------------
+  /// True when node i senses the medium busy (>= 1 transmitting neighbor),
+  /// i.e. A_i(t) = 0.
+  bool busy_at(std::size_t node) const;
+  bool is_transmitting(std::size_t node) const;
+  /// c(t) as seen by `node`: its listening neighbors (perfect estimate).
+  int listening_neighbors(std::size_t node) const;
+  int transmitting_count() const noexcept { return active_tx_; }
+
+  /// Nodes whose carrier-sense state toggled since the last drain (each at
+  /// most once). The protocol re-samples these nodes' transitions.
+  std::vector<std::size_t> drain_toggled();
+
+ private:
+  void mark_toggled(std::size_t node);
+
+  const model::Topology& topo_;
+  std::vector<std::uint8_t> listening_;
+  std::vector<std::uint8_t> transmitting_;
+  std::vector<std::uint32_t> busy_count_;  // transmitting neighbors
+  std::vector<int> lock_tx_;               // which tx this listener decodes (-1 none)
+  std::vector<std::uint8_t> corrupt_;      // current reception overlapped
+  std::vector<std::uint8_t> toggled_flag_;
+  std::vector<std::size_t> toggled_;
+  int active_tx_ = 0;
+};
+
+}  // namespace econcast::sim
+
+#endif  // ECONCAST_SIM_CHANNEL_H

@@ -1,0 +1,51 @@
+// Lazy-evaluated energy storage: level(t) = level(t0) + (harvest - draw)·(t-t0)
+// between change points. Models the paper's b_i(t) (battery/capacitor charge)
+// and, with `min_level = 0`, a storage that cannot go negative (testbed).
+#ifndef ECONCAST_SIM_ENERGY_H
+#define ECONCAST_SIM_ENERGY_H
+
+#include <limits>
+
+namespace econcast::sim {
+
+class EnergyStore {
+ public:
+  /// harvest_rate: the node's power budget ρ (inflow). initial_level: b(0).
+  EnergyStore(double harvest_rate, double initial_level = 0.0) noexcept
+      : harvest_(harvest_rate), level_(initial_level) {}
+
+  /// Changes the instantaneous draw (state change). Settles the balance
+  /// first; `now` must be non-decreasing across calls.
+  void set_draw(double draw, double now) noexcept;
+
+  /// Storage level at `now` (>= last settle point), with clamping applied.
+  double level(double now) const noexcept;
+
+  /// Total energy consumed (integral of draw) up to `now`.
+  double consumed(double now) const noexcept;
+
+  /// Optional clamping bounds (default: unbounded, the paper's idealized
+  /// virtual battery). With a lower bound, deficit beyond the bound is lost
+  /// (the node browns out); with an upper bound, surplus harvest is wasted
+  /// (capacitor full). Clamping is applied at settle points, so set bounds
+  /// before the first set_draw.
+  void set_bounds(double min_level, double max_level) noexcept;
+
+  double harvest_rate() const noexcept { return harvest_; }
+  double draw() const noexcept { return draw_; }
+
+ private:
+  void settle(double now) noexcept;
+
+  double harvest_;
+  double draw_ = 0.0;
+  double level_;
+  double consumed_ = 0.0;
+  double last_ = 0.0;
+  double min_ = -std::numeric_limits<double>::infinity();
+  double max_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace econcast::sim
+
+#endif  // ECONCAST_SIM_ENERGY_H

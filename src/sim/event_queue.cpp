@@ -1,0 +1,23 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace econcast::sim {
+
+void EventQueue::push(double time, EventKind kind, std::uint32_t node,
+                      std::uint64_t stamp) {
+  heap_.push(Event{time, next_seq_++, kind, node, stamp});
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("pop from empty EventQueue");
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace econcast::sim

@@ -1,0 +1,57 @@
+// Future-event list for the continuous-time simulator. Events are typed and
+// carry a validity stamp so holders can invalidate scheduled transitions in
+// O(1) (lazy deletion) when exponential rates change — re-sampling is valid
+// because of memorylessness.
+#ifndef ECONCAST_SIM_EVENT_QUEUE_H
+#define ECONCAST_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace econcast::sim {
+
+enum class EventKind : std::uint8_t {
+  kTransition,      // a node's next sleep/listen/transmit state change
+  kPacketEnd,       // end of the packet currently on the air
+  kIntervalEnd,     // end of a node's multiplier-update interval τ_k
+  kPingSlot,        // testbed: a scheduled ping inside the ping interval
+  kEnergyDepleted,  // energy guard: storage hit the floor / refill reached
+  kCustom,          // protocol-specific
+};
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  // FIFO tie-break for identical times
+  EventKind kind = EventKind::kCustom;
+  std::uint32_t node = 0;
+  std::uint64_t stamp = 0;  // validity token (kTransition, kPingSlot)
+};
+
+/// Min-heap on (time, seq). seq is assigned by push order, making the
+/// simulation fully deterministic for a fixed seed.
+class EventQueue {
+ public:
+  void push(double time, EventKind kind, std::uint32_t node,
+            std::uint64_t stamp = 0);
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+  const Event& top() const { return heap_.top(); }
+  Event pop();
+  void clear();
+  std::uint64_t pushed() const noexcept { return next_seq_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace econcast::sim
+
+#endif  // ECONCAST_SIM_EVENT_QUEUE_H

@@ -1,0 +1,64 @@
+#include "sim/metrics.h"
+
+namespace econcast::sim {
+
+MetricsCollector::MetricsCollector(std::size_t num_nodes)
+    : receivers_(num_nodes) {}
+
+void MetricsCollector::record_packet(double now, double duration,
+                                     std::uint32_t clean_receivers,
+                                     std::uint32_t corrupted) {
+  if (now < start_time_) return;
+  ++packets_sent_;
+  packets_received_ += clean_receivers;
+  corrupted_ += corrupted;
+  group_credit_ += duration * static_cast<double>(clean_receivers);
+  if (clean_receivers > 0) any_credit_ += duration;
+}
+
+void MetricsCollector::record_burst(double now, std::uint64_t packets,
+                                    bool received) {
+  if (now < start_time_) return;
+  if (received) {
+    ++burst_count_;
+    bursts_.add(static_cast<double>(packets));
+  }
+}
+
+void MetricsCollector::receiver_burst_started(std::size_t node,
+                                              double packet_start_time) {
+  auto& r = receivers_[node];
+  if (r.current_burst_rx_start < 0.0)
+    r.current_burst_rx_start = packet_start_time;
+}
+
+void MetricsCollector::receiver_burst_ended(std::size_t node, double now) {
+  auto& r = receivers_[node];
+  if (r.current_burst_rx_start >= 0.0) {
+    // Latency = gap from the end of the previous received burst to the start
+    // of this one, counted only when the node slept in between (§VII-D).
+    if (r.last_burst_end >= 0.0 && r.slept_since_last &&
+        now >= start_time_) {
+      latencies_.add(r.current_burst_rx_start - r.last_burst_end);
+    }
+    r.last_burst_end = now;
+    r.slept_since_last = false;
+    r.current_burst_rx_start = -1.0;
+  }
+}
+
+void MetricsCollector::node_slept(std::size_t node) noexcept {
+  receivers_[node].slept_since_last = true;
+}
+
+double MetricsCollector::groupput(double now) const {
+  const double window = now - start_time_;
+  return window > 0.0 ? group_credit_ / window : 0.0;
+}
+
+double MetricsCollector::anyput(double now) const {
+  const double window = now - start_time_;
+  return window > 0.0 ? any_credit_ / window : 0.0;
+}
+
+}  // namespace econcast::sim

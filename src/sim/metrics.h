@@ -1,0 +1,76 @@
+// Measurement side of the simulator: throughput integrators (Definitions
+// 1-2), burst-length statistics (§VII-D / Appendix E) and the inter-burst
+// latency tracker (§VII-D). A warmup boundary lets callers discard the
+// adaptation transient.
+#ifndef ECONCAST_SIM_METRICS_H
+#define ECONCAST_SIM_METRICS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace econcast::sim {
+
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(std::size_t num_nodes);
+
+  /// Measurement starts at `time` (metrics before it are discarded).
+  void start_measurement(double time) noexcept { start_time_ = time; }
+  double start_time() const noexcept { return start_time_; }
+
+  // --- packet / burst accounting -----------------------------------------
+  /// One unit packet ended at `now` with `clean_receivers` receivers.
+  void record_packet(double now, double duration,
+                     std::uint32_t clean_receivers, std::uint32_t corrupted);
+
+  /// A burst (back-to-back packets from one transmitter) ended at `now`.
+  /// `received` is true when at least one packet had >= 1 clean receiver.
+  void record_burst(double now, std::uint64_t packets, bool received);
+
+  // --- per-receiver latency (gap between received bursts incl. sleep) ----
+  /// Node started receiving a burst (locked its first clean packet).
+  void receiver_burst_started(std::size_t node, double packet_start_time);
+  /// Node finished a burst it had received packets of.
+  void receiver_burst_ended(std::size_t node, double now);
+  /// Node entered sleep state.
+  void node_slept(std::size_t node) noexcept;
+
+  // --- results -------------------------------------------------------------
+  /// Groupput over [start, now]: received packet-time summed per receiver.
+  double groupput(double now) const;
+  /// Anyput over [start, now].
+  double anyput(double now) const;
+
+  const util::RunningStats& burst_lengths() const noexcept { return bursts_; }
+  util::SampleSet& latencies() noexcept { return latencies_; }
+  const util::SampleSet& latencies() const noexcept { return latencies_; }
+
+  std::uint64_t packets_sent() const noexcept { return packets_sent_; }
+  std::uint64_t packets_received() const noexcept { return packets_received_; }
+  std::uint64_t corrupted_receptions() const noexcept { return corrupted_; }
+  std::uint64_t burst_count() const noexcept { return burst_count_; }
+
+ private:
+  double start_time_ = 0.0;
+  double group_credit_ = 0.0;
+  double any_credit_ = 0.0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t burst_count_ = 0;
+  util::RunningStats bursts_;
+  util::SampleSet latencies_;
+
+  struct ReceiverState {
+    double last_burst_end = -1.0;  // <0: nothing received yet
+    double current_burst_rx_start = -1.0;
+    bool slept_since_last = false;
+  };
+  std::vector<ReceiverState> receivers_;
+};
+
+}  // namespace econcast::sim
+
+#endif  // ECONCAST_SIM_METRICS_H

@@ -1,0 +1,44 @@
+#include "testbed/ez430.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace econcast::testbed {
+
+CapacitorMeter::CapacitorMeter(double capacitance_f, double v0, double v_min)
+    : cap_f_(capacitance_f), v0_(v0), v_min_(v_min) {
+  if (!(capacitance_f > 0.0) || !(v0 > v_min) || !(v_min > 0.0))
+    throw std::invalid_argument("CapacitorMeter: invalid parameters");
+}
+
+double CapacitorMeter::voltage_after(double energy_mj) const {
+  // E(mJ) = 1/2 C (v0^2 - v1^2) * 1000.
+  const double v1_sq = v0_ * v0_ - 2.0 * energy_mj * 1e-3 / cap_f_;
+  if (v1_sq < v_min_ * v_min_)
+    throw std::domain_error("capacitor below working voltage");
+  return std::sqrt(v1_sq);
+}
+
+double CapacitorMeter::measure_power_mw(double energy_mj, double duration_ms,
+                                        double noise_v,
+                                        util::Rng& rng) const {
+  const double v1 = voltage_after(energy_mj);
+  // Uniform noise approximates multimeter quantization + contact variance.
+  const double v0_read = v0_ + rng.uniform(-noise_v, noise_v);
+  const double v1_read = v1 + rng.uniform(-noise_v, noise_v);
+  const double e_mj =
+      0.5 * cap_f_ * (v0_read * v0_read - v1_read * v1_read) * 1e3;
+  return e_mj / duration_ms * 1e3;  // mJ/ms = W, so x1000 for mW
+}
+
+double CapacitorMeter::usable_energy_mj() const noexcept {
+  return 0.5 * cap_f_ * (v0_ * v0_ - v_min_ * v_min_) * 1e3;
+}
+
+double CapacitorMeter::lifetime_minutes(double power_mw) const noexcept {
+  if (power_mw <= 0.0) return 0.0;
+  // mJ / mW = seconds.
+  return usable_energy_mj() / power_mw / 60.0;
+}
+
+}  // namespace econcast::testbed

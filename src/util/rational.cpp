@@ -1,0 +1,68 @@
+#include "util/rational.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace econcast::util {
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) noexcept {
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a < 0 ? -a : a;
+}
+
+std::int64_t lcm64_checked(std::int64_t a, std::int64_t b, std::int64_t limit) {
+  if (a == 0 || b == 0) return 0;
+  const std::int64_t g = gcd64(a, b);
+  const std::int64_t l = (a / g) * b;
+  if (l > limit || l < 0)
+    throw std::overflow_error("lcm64_checked: period limit exceeded");
+  return l;
+}
+
+Rational approximate_rational(double x, std::int64_t max_den) {
+  if (x < 0.0 || !std::isfinite(x))
+    throw std::invalid_argument("approximate_rational: x must be finite, >= 0");
+  if (max_den < 1)
+    throw std::invalid_argument("approximate_rational: max_den must be >= 1");
+
+  // Continued-fraction expansion, tracking convergents h/k.
+  std::int64_t h0 = 0, k0 = 1;  // previous convergent
+  std::int64_t h1 = 1, k1 = 0;  // current convergent
+  double frac = x;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double a_floor = std::floor(frac);
+    const auto a = static_cast<std::int64_t>(a_floor);
+    // Next convergent h2/k2 = a*h1 + h0 / a*k1 + k0.
+    if (k1 != 0 && a > (max_den - k0) / k1) {
+      // Denominator would exceed the bound: take the best semiconvergent.
+      const std::int64_t a_max = (max_den - k0) / k1;
+      if (a_max > 0) {
+        const std::int64_t h2 = a_max * h1 + h0;
+        const std::int64_t k2 = a_max * k1 + k0;
+        const double err_semi = std::abs(x - static_cast<double>(h2) /
+                                                 static_cast<double>(k2));
+        const double err_conv = std::abs(x - static_cast<double>(h1) /
+                                                 static_cast<double>(k1));
+        return err_semi < err_conv ? Rational{h2, k2} : Rational{h1, k1};
+      }
+      break;
+    }
+    const std::int64_t h2 = a * h1 + h0;
+    const std::int64_t k2 = a * k1 + k0;
+    h0 = h1;
+    k0 = k1;
+    h1 = h2;
+    k1 = k2;
+    const double rem = frac - a_floor;
+    if (rem < 1e-12) break;  // exact (within double precision)
+    frac = 1.0 / rem;
+  }
+  if (k1 == 0) return Rational{0, 1};
+  return Rational{h1, k1};
+}
+
+}  // namespace econcast::util

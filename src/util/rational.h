@@ -1,0 +1,33 @@
+// Rational approximation of real-valued oracle solutions. Lemma 1 constructs
+// a periodic schedule from *rational* (α*, β*); we approximate the LP's
+// floating-point solution by fractions over a bounded denominator
+// (Stern–Brocot / continued fractions), then take the LCM as the period.
+#ifndef ECONCAST_UTIL_RATIONAL_H
+#define ECONCAST_UTIL_RATIONAL_H
+
+#include <cstdint>
+
+namespace econcast::util {
+
+struct Rational {
+  std::int64_t num = 0;
+  std::int64_t den = 1;
+
+  double value() const noexcept {
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+};
+
+/// Best rational approximation of x with denominator <= max_den, via
+/// continued-fraction convergents. Requires x >= 0 and max_den >= 1.
+Rational approximate_rational(double x, std::int64_t max_den);
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) noexcept;
+
+/// LCM with saturation guard; throws std::overflow_error if it exceeds
+/// `limit` (schedule periods must stay manageable).
+std::int64_t lcm64_checked(std::int64_t a, std::int64_t b, std::int64_t limit);
+
+}  // namespace econcast::util
+
+#endif  // ECONCAST_UTIL_RATIONAL_H

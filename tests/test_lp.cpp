@@ -1,0 +1,219 @@
+// Tests for the two-phase simplex solver, including degenerate, infeasible,
+// unbounded and equality-constrained programs.
+#include <gtest/gtest.h>
+
+#include "lp/problem.h"
+#include "lp/simplex.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace econcast::lp;
+
+TEST(Simplex, SimpleTwoVariable) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj 12? No:
+  // vertex (3, 1): obj 11; vertex (4, 0): obj 12. Optimal is 12.
+  Problem p(2);
+  p.set_objective(0, 3.0);
+  p.set_objective(1, 2.0);
+  p.add_constraint_dense({1.0, 1.0}, Relation::kLessEq, 4.0);
+  p.add_constraint_dense({1.0, 3.0}, Relation::kLessEq, 6.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 0.0, 1e-9);
+}
+
+TEST(Simplex, ClassicProductMix) {
+  // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6 -> x=3, y=1.5, obj 21.
+  Problem p(2);
+  p.set_objective(0, 5.0);
+  p.set_objective(1, 4.0);
+  p.add_constraint_dense({6.0, 4.0}, Relation::kLessEq, 24.0);
+  p.add_constraint_dense({1.0, 2.0}, Relation::kLessEq, 6.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 21.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 1.5, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // max x + y s.t. x + y = 2, x <= 1.5 -> obj 2.
+  Problem p(2);
+  p.set_objective(0, 1.0);
+  p.set_objective(1, 1.0);
+  p.add_constraint_dense({1.0, 1.0}, Relation::kEq, 2.0);
+  p.add_constraint_dense({1.0, 0.0}, Relation::kLessEq, 1.5);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+  EXPECT_NEAR(s.x[0] + s.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualConstraint) {
+  // min x  <=> max -x  s.t. x >= 3 -> obj -3.
+  Problem p(1);
+  p.set_objective(0, -1.0);
+  p.add_constraint_dense({1.0}, Relation::kGreaterEq, 3.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(s.objective, -3.0, 1e-9);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  Problem p(1);
+  p.set_objective(0, 1.0);
+  p.add_constraint_dense({1.0}, Relation::kLessEq, 1.0);
+  p.add_constraint_dense({1.0}, Relation::kGreaterEq, 2.0);
+  EXPECT_EQ(solve(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  Problem p(2);
+  p.set_objective(0, 1.0);
+  p.add_constraint_dense({0.0, 1.0}, Relation::kLessEq, 1.0);
+  EXPECT_EQ(solve(p).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NoConstraintsZeroObjective) {
+  Problem p(3);
+  const Solution s = solve(p);
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+}
+
+TEST(Simplex, NoConstraintsPositiveObjectiveUnbounded) {
+  Problem p(2);
+  p.set_objective(1, 1.0);
+  EXPECT_EQ(solve(p).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x - y <= -1 with x, y >= 0: needs y >= x + 1. max x + y bounded by y<=3.
+  Problem p(2);
+  p.set_objective(0, 1.0);
+  p.set_objective(1, 1.0);
+  p.add_constraint_dense({1.0, -1.0}, Relation::kLessEq, -1.0);
+  p.add_constraint_dense({0.0, 1.0}, Relation::kLessEq, 3.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);  // x=2, y=3
+}
+
+TEST(Simplex, DegenerateVertexStillSolves) {
+  // Redundant constraints meeting at the same vertex.
+  Problem p(2);
+  p.set_objective(0, 1.0);
+  p.set_objective(1, 1.0);
+  p.add_constraint_dense({1.0, 1.0}, Relation::kLessEq, 2.0);
+  p.add_constraint_dense({2.0, 2.0}, Relation::kLessEq, 4.0);
+  p.add_constraint_dense({1.0, 0.0}, Relation::kLessEq, 1.0);
+  p.add_constraint_dense({0.0, 1.0}, Relation::kLessEq, 1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  Problem p(2);
+  p.set_objective(0, 1.0);
+  p.add_constraint_dense({1.0, 1.0}, Relation::kEq, 2.0);
+  p.add_constraint_dense({2.0, 2.0}, Relation::kEq, 4.0);  // same hyperplane
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, SparseConstraintInterface) {
+  Problem p(4);
+  p.set_objective(2, 1.0);
+  p.add_constraint({{2, 1.0}}, Relation::kLessEq, 5.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+}
+
+TEST(Simplex, RejectsBadIndices) {
+  Problem p(2);
+  EXPECT_THROW(p.set_objective(5, 1.0), std::out_of_range);
+  EXPECT_THROW(p.add_constraint({{9, 1.0}}, Relation::kLessEq, 1.0),
+               std::out_of_range);
+  EXPECT_THROW(p.add_constraint_dense({1.0}, Relation::kLessEq, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(Problem(0), std::invalid_argument);
+}
+
+TEST(Simplex, SolutionSatisfiesConstraintsRandomized) {
+  // Property: on random feasible LPs (b >= 0 so x = 0 is feasible), the
+  // returned point satisfies every constraint and is nonnegative.
+  econcast::util::Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 2 + rng.uniform_int(5);
+    const std::size_t m = 1 + rng.uniform_int(6);
+    Problem p(n);
+    for (std::size_t j = 0; j < n; ++j)
+      p.set_objective(j, rng.uniform(0.0, 2.0));
+    std::vector<std::vector<double>> rows;
+    std::vector<double> rhs;
+    bool bounded = false;
+    for (std::size_t r = 0; r < m; ++r) {
+      std::vector<double> row(n);
+      bool all_positive = true;
+      for (auto& v : row) {
+        v = rng.uniform(0.0, 1.0);
+        all_positive = all_positive && v > 0.05;
+      }
+      bounded = bounded || all_positive;
+      const double b = rng.uniform(0.5, 5.0);
+      p.add_constraint_dense(row, Relation::kLessEq, b);
+      rows.push_back(row);
+      rhs.push_back(b);
+    }
+    if (!bounded) {
+      // Add a box to guarantee boundedness.
+      std::vector<double> row(n, 1.0);
+      p.add_constraint_dense(row, Relation::kLessEq, 10.0);
+      rows.push_back(row);
+      rhs.push_back(10.0);
+    }
+    const Solution s = solve(p);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    for (std::size_t j = 0; j < n; ++j) ASSERT_GE(s.x[j], -1e-9);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      double lhs = 0.0;
+      for (std::size_t j = 0; j < n; ++j) lhs += rows[r][j] * s.x[j];
+      ASSERT_LE(lhs, rhs[r] + 1e-7);
+    }
+  }
+}
+
+TEST(Simplex, ScalesToHundredsOfVariables) {
+  // Transportation-like LP: 200 vars, 120 constraints.
+  const std::size_t n = 200;
+  Problem p(n);
+  econcast::util::Rng rng(7);
+  for (std::size_t j = 0; j < n; ++j) p.set_objective(j, rng.uniform(1.0, 2.0));
+  for (std::size_t r = 0; r < 120; ++r) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t j = r; j < n; j += 7)
+      terms.emplace_back(j, rng.uniform(0.5, 1.5));
+    p.add_constraint(std::move(terms), Relation::kLessEq, 3.0);
+  }
+  std::vector<double> box(n, 1.0);
+  p.add_constraint_dense(box, Relation::kLessEq, 50.0);
+  const Solution s = solve(p);
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_GT(s.objective, 0.0);
+}
+
+TEST(Simplex, StatusToString) {
+  EXPECT_STREQ(to_string(SolveStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(SolveStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(SolveStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(SolveStatus::kIterationLimit), "iteration-limit");
+}
+
+}  // namespace

@@ -1,0 +1,329 @@
+// Tests for the oracle solvers: (P2) groupput, (P3) anyput, closed forms,
+// the non-clique bounds of §IV-C, and the Lemma-1 periodic scheduler.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "model/network.h"
+#include "oracle/clique_oracle.h"
+#include "oracle/nonclique_oracle.h"
+#include "oracle/periodic_schedule.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace econcast;
+using namespace econcast::oracle;
+using model::Mode;
+
+constexpr double kTol = 1e-7;
+
+// ------------------------------------------------------------ closed form --
+
+TEST(CliqueOracle, PaperSettingGroupput) {
+  // N=5, ρ=10 µW, L=X=500 µW: T*_g = N(N-1)ρ/(X+(N-1)L) = 0.08. The LP may
+  // return any optimal vertex (the symmetric split is not unique), so we
+  // assert the objective plus feasibility, and check the symmetric solution
+  // via the closed form.
+  const auto nodes = model::homogeneous(5, 10.0, 500.0, 500.0);
+  const OracleSolution s = groupput(nodes);
+  EXPECT_NEAR(s.throughput, 0.08, kTol);
+  double beta_sum = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_LE(s.alpha[i] * 500.0 + s.beta[i] * 500.0, 10.0 + 1e-9);
+    beta_sum += s.beta[i];
+  }
+  EXPECT_LE(beta_sum, 1.0 + 1e-9);
+  const OracleSolution cf =
+      homogeneous_groupput_closed_form(5, 10.0, 500.0, 500.0);
+  EXPECT_NEAR(cf.beta[0], 0.004, kTol);
+  EXPECT_NEAR(cf.alpha[0], 0.016, kTol);
+  EXPECT_NEAR(cf.throughput, s.throughput, kTol);
+}
+
+TEST(CliqueOracle, PaperSettingAnyput) {
+  // α* = β* = ρ/(X+L) = 0.01, T*_a = 0.05.
+  const auto nodes = model::homogeneous(5, 10.0, 500.0, 500.0);
+  const OracleSolution s = anyput(nodes);
+  EXPECT_NEAR(s.throughput, 0.05, kTol);
+}
+
+TEST(CliqueOracle, LpMatchesClosedFormGroupput) {
+  for (const auto& [n, rho, l, x] :
+       {std::tuple{3u, 5.0, 400.0, 600.0}, std::tuple{8u, 20.0, 700.0, 300.0},
+        std::tuple{10u, 10.0, 500.0, 500.0}}) {
+    const auto nodes = model::homogeneous(n, rho, l, x);
+    const OracleSolution lp = groupput(nodes);
+    const OracleSolution cf =
+        homogeneous_groupput_closed_form(n, rho, l, x);
+    EXPECT_NEAR(lp.throughput, cf.throughput, 1e-6) << "n=" << n;
+  }
+}
+
+TEST(CliqueOracle, LpMatchesClosedFormAnyput) {
+  for (const auto& [n, rho, l, x] :
+       {std::tuple{3u, 5.0, 400.0, 600.0}, std::tuple{8u, 20.0, 700.0, 300.0}}) {
+    const auto nodes = model::homogeneous(n, rho, l, x);
+    EXPECT_NEAR(anyput(nodes).throughput,
+                homogeneous_anyput_closed_form(n, rho, l, x).throughput, 1e-6);
+  }
+}
+
+TEST(CliqueOracle, ClosedFormRejectsUnconstrainedRegime) {
+  // Huge budget: nodes could be awake all the time; (10) binds, not (9).
+  EXPECT_THROW(homogeneous_groupput_closed_form(5, 1000.0, 1.0, 1.0),
+               std::domain_error);
+}
+
+TEST(CliqueOracle, UnconstrainedOracle) {
+  EXPECT_DOUBLE_EQ(unconstrained_oracle(5, Mode::kGroupput), 4.0);
+  EXPECT_DOUBLE_EQ(unconstrained_oracle(5, Mode::kAnyput), 1.0);
+  EXPECT_DOUBLE_EQ(unconstrained_oracle(1, Mode::kGroupput), 0.0);
+}
+
+TEST(CliqueOracle, EnergyRichNetworkHitsUnconstrainedOracle) {
+  // With generous budgets the oracle approaches N-1 (groupput) and 1 (anyput).
+  const auto nodes = model::homogeneous(4, 1000.0, 1.0, 1.0);
+  EXPECT_NEAR(groupput(nodes).throughput, 3.0, 1e-6);
+  EXPECT_NEAR(anyput(nodes).throughput, 1.0, 1e-6);
+}
+
+// --------------------------------------------------------------- LP paths --
+
+TEST(CliqueOracle, HeterogeneousTableTwoExample) {
+  // Table II: L=X=1 mW, ρ = {5, 10, 50, 100} µW = {0.005, .01, .05, .1} mW.
+  // The paper's tabulated split (20/22/53.6/65.7% transmit-when-awake)
+  // delivers a *useful-listen* total of 0.065 — the same objective the LP
+  // certifies (node 4's 0.0043 of dead listening in the paper's vertex is
+  // optimal-but-wasted; optima are not unique). We assert the objective and
+  // that the paper's row is (up to rounding) optimal too.
+  model::NodeSet nodes{{0.005, 1.0, 1.0},
+                       {0.010, 1.0, 1.0},
+                       {0.050, 1.0, 1.0},
+                       {0.100, 1.0, 1.0}};
+  const OracleSolution s = groupput(nodes);
+  EXPECT_NEAR(s.throughput, 0.065, 1e-6);
+  // Paper row: β = awake · tx-when-awake; useful listening is capped by the
+  // other nodes' transmit time (eq. (12)).
+  const double beta[4] = {0.005 * 0.200, 0.010 * 0.220, 0.050 * 0.536,
+                          0.100 * 0.657};
+  const double alpha[4] = {0.005 - beta[0], 0.010 - beta[1], 0.050 - beta[2],
+                           0.100 - beta[3]};
+  const double beta_total = beta[0] + beta[1] + beta[2] + beta[3];
+  double paper_useful = 0.0;
+  for (int i = 0; i < 4; ++i)
+    paper_useful += std::min(alpha[i], beta_total - beta[i]);
+  EXPECT_NEAR(paper_useful, s.throughput, 2e-3);
+}
+
+TEST(CliqueOracle, GroupputMonotoneInBudget) {
+  double prev = 0.0;
+  for (const double rho : {1.0, 5.0, 10.0, 20.0, 40.0}) {
+    const double t = groupput(model::homogeneous(5, rho, 500.0, 500.0)).throughput;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CliqueOracle, GroupputExceedsAnyput) {
+  econcast::util::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto nodes = model::sample_heterogeneous(5, 150.0, rng);
+    EXPECT_GE(groupput(nodes).throughput, anyput(nodes).throughput - 1e-9);
+  }
+}
+
+TEST(CliqueOracle, SolutionsRespectConstraints) {
+  econcast::util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto nodes = model::sample_heterogeneous(6, 200.0, rng);
+    for (const Mode mode : {Mode::kGroupput, Mode::kAnyput}) {
+      const OracleSolution s = solve(nodes, mode);
+      double beta_sum = 0.0;
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        // (9), (10).
+        EXPECT_LE(s.alpha[i] * nodes[i].listen_power +
+                      s.beta[i] * nodes[i].transmit_power,
+                  nodes[i].budget * (1 + 1e-9));
+        EXPECT_LE(s.alpha[i] + s.beta[i], 1.0 + 1e-9);
+        EXPECT_GE(s.alpha[i], -1e-12);
+        EXPECT_GE(s.beta[i], -1e-12);
+        beta_sum += s.beta[i];
+      }
+      EXPECT_LE(beta_sum, 1.0 + 1e-9);  // (11)
+    }
+  }
+}
+
+TEST(CliqueOracle, GroupputListenCoveredByOthersTransmit) {
+  econcast::util::Rng rng(3);
+  const auto nodes = model::sample_heterogeneous(5, 100.0, rng);
+  const OracleSolution s = groupput(nodes);
+  double beta_total = 0.0;
+  for (const double b : s.beta) beta_total += b;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    EXPECT_LE(s.alpha[i], beta_total - s.beta[i] + 1e-9);  // (12)
+}
+
+TEST(CliqueOracle, ThroughputScaleInvariance) {
+  // Performance depends only on the ratios between ρ, L, X (§VII-A).
+  const auto a = groupput(model::homogeneous(5, 10.0, 500.0, 500.0));
+  const auto b = groupput(model::homogeneous(5, 1.0, 50.0, 50.0));
+  EXPECT_NEAR(a.throughput, b.throughput, 1e-9);
+}
+
+TEST(CliqueOracle, AnyputSingleNodeIsZero) {
+  EXPECT_DOUBLE_EQ(anyput(model::homogeneous(1, 1.0, 1.0, 1.0)).throughput, 0.0);
+}
+
+// Property sweep: oracle groupput equals the closed form across the Fig. 3
+// X/L range for the paper's budget.
+class OracleXOverLSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OracleXOverLSweep, ClosedFormAcrossPowerRatios) {
+  const double ratio = GetParam();  // X/L with L+X = 1000 µW
+  const double x = 1000.0 * ratio / (1.0 + ratio);
+  const double l = 1000.0 - x;
+  const auto nodes = model::homogeneous(5, 10.0, l, x);
+  const double expect = 5.0 * 4.0 * 10.0 / (x + 4.0 * l);
+  EXPECT_NEAR(groupput(nodes).throughput, expect, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRatios, OracleXOverLSweep,
+                         ::testing::Values(1.0 / 9, 1.0 / 4, 3.0 / 7, 2.0 / 3,
+                                           1.0, 3.0 / 2, 7.0 / 3, 4.0, 9.0));
+
+// --------------------------------------------------------------- non-clique --
+
+TEST(NoncliqueOracle, CliqueTopologyMatchesCliqueOracle) {
+  const auto nodes = model::homogeneous(5, 10.0, 500.0, 500.0);
+  const NoncliqueBounds b =
+      nonclique_groupput(nodes, model::Topology::clique(5));
+  EXPECT_NEAR(b.lower.throughput, 0.08, 1e-7);
+}
+
+TEST(NoncliqueOracle, GridBoundsAreTightInPaperRegime) {
+  // Fig. 6 observation: for the paper's grids the bounds coincide.
+  const auto nodes = model::homogeneous(25, 10.0, 500.0, 500.0);
+  const NoncliqueBounds b =
+      nonclique_groupput(nodes, model::Topology::grid(5, 5));
+  EXPECT_TRUE(b.tight(1e-6)) << b.lower.throughput << " vs "
+                             << b.upper.throughput;
+  EXPECT_GT(b.lower.throughput, 0.0);
+}
+
+TEST(NoncliqueOracle, UpperBoundAtLeastLower) {
+  econcast::util::Rng rng(4);
+  const auto topo = model::Topology::random_gnp(10, 0.3, rng);
+  const auto nodes = model::homogeneous(10, 10.0, 500.0, 500.0);
+  const NoncliqueBounds b = nonclique_groupput(nodes, topo);
+  EXPECT_GE(b.upper.throughput, b.lower.throughput - 1e-9);
+}
+
+TEST(NoncliqueOracle, GridOracleGrowsWithN) {
+  double prev = 0.0;
+  for (const std::size_t k : {2u, 3u, 4u, 5u}) {
+    const auto nodes = model::homogeneous(k * k, 10.0, 500.0, 500.0);
+    const double t =
+        nonclique_groupput(nodes, model::Topology::grid(k, k)).lower.throughput;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(NoncliqueOracle, LineSaturatesVersusClique) {
+  // A line constrains listening to <= 2 neighbors' transmissions; with an
+  // energy-rich budget its oracle falls below the clique's.
+  const auto nodes = model::homogeneous(6, 200.0, 500.0, 500.0);
+  const double line_t =
+      nonclique_groupput(nodes, model::Topology::line(6)).upper.throughput;
+  const double clique_t = groupput(nodes).throughput;
+  EXPECT_LT(line_t, clique_t);
+}
+
+TEST(NoncliqueOracle, SizeMismatchThrows) {
+  const auto nodes = model::homogeneous(4, 10.0, 500.0, 500.0);
+  EXPECT_THROW(nonclique_groupput(nodes, model::Topology::clique(5)),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------ periodic schedule --
+
+TEST(PeriodicSchedule, AchievesOracleUpToQuantization) {
+  const auto nodes = model::homogeneous(5, 10.0, 500.0, 500.0);
+  const OracleSolution s = groupput(nodes);
+  const PeriodicSchedule sched = build_periodic_schedule(nodes, s, 1000);
+  const ScheduleCheck check = verify_schedule(nodes, sched);
+  EXPECT_TRUE(check.ok());
+  // Quantization loses at most N/grid of throughput.
+  EXPECT_GE(check.groupput, s.throughput - 5.0 / 1000.0);
+  EXPECT_LE(check.groupput, s.throughput + 1e-9);
+}
+
+TEST(PeriodicSchedule, HeterogeneousScheduleFeasible) {
+  econcast::util::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto nodes = model::sample_heterogeneous(6, 150.0, rng);
+    const OracleSolution s = groupput(nodes);
+    const PeriodicSchedule sched = build_periodic_schedule(nodes, s, 2000);
+    const ScheduleCheck check = verify_schedule(nodes, sched);
+    EXPECT_TRUE(check.ok());
+    EXPECT_GE(check.groupput, s.throughput - 6.0 / 2000.0);
+  }
+}
+
+TEST(PeriodicSchedule, AccumulationCoversInitialDeficit) {
+  const auto nodes = model::homogeneous(4, 10.0, 500.0, 500.0);
+  const OracleSolution s = groupput(nodes);
+  const PeriodicSchedule sched = build_periodic_schedule(nodes, s, 500);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const double acc = sched.accumulation_slots(nodes, i);
+    EXPECT_GE(acc, 0.0);
+    // Replaying the period starting with the accumulated energy never goes
+    // negative (Lemma 1 / Appendix A).
+    double energy = nodes[i].budget * acc;
+    for (std::int64_t slot = 0; slot < sched.period; ++slot) {
+      double spend = 0.0;
+      const auto action = sched.actions[i][static_cast<std::size_t>(slot)];
+      if (action == SlotAction::kListen) spend = nodes[i].listen_power;
+      if (action == SlotAction::kTransmit) spend = nodes[i].transmit_power;
+      energy += nodes[i].budget - spend;
+      EXPECT_GE(energy, -1e-9);
+    }
+  }
+}
+
+TEST(PeriodicSchedule, DetectsCorruptedSchedule) {
+  const auto nodes = model::homogeneous(3, 10.0, 500.0, 500.0);
+  const OracleSolution s = groupput(nodes);
+  PeriodicSchedule sched = build_periodic_schedule(nodes, s, 200);
+  // Corrupt: make two nodes transmit in slot 0.
+  sched.actions[0][0] = SlotAction::kTransmit;
+  sched.actions[1][0] = SlotAction::kTransmit;
+  const ScheduleCheck check = verify_schedule(nodes, sched);
+  EXPECT_FALSE(check.collision_free);
+}
+
+TEST(PeriodicSchedule, DetectsUncoveredListener) {
+  const auto nodes = model::homogeneous(3, 10.0, 500.0, 500.0);
+  PeriodicSchedule sched;
+  sched.period = 10;
+  sched.actions.assign(3, std::vector<SlotAction>(10, SlotAction::kSleep));
+  sched.actions[0][0] = SlotAction::kListen;  // nobody transmits
+  EXPECT_FALSE(verify_schedule(nodes, sched).listeners_covered);
+}
+
+TEST(PeriodicSchedule, RejectsInvalidInputs) {
+  const auto nodes = model::homogeneous(3, 10.0, 500.0, 500.0);
+  OracleSolution bad;
+  bad.alpha = {0.1, 0.1};  // wrong size
+  bad.beta = {0.1, 0.1, 0.1};
+  EXPECT_THROW(build_periodic_schedule(nodes, bad, 100), std::invalid_argument);
+  OracleSolution overflow;
+  overflow.alpha = {0.0, 0.0, 0.0};
+  overflow.beta = {0.6, 0.6, 0.6};  // Σβ > 1
+  EXPECT_THROW(build_periodic_schedule(nodes, overflow, 100),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,380 @@
+// Integration tests of the EconCast simulation: Lemma 2 (empirical state
+// occupancy matches the Gibbs distribution under frozen η), Theorem 1 in
+// practice (adaptive η converges and the measured throughput matches T^σ),
+// budget adherence, both variants, both modes, and non-clique behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "econcast/simulation.h"
+#include "gibbs/exact.h"
+#include "gibbs/p4_solver.h"
+#include "oracle/nonclique_oracle.h"
+
+namespace {
+
+using namespace econcast;
+using namespace econcast::proto;
+using model::Mode;
+
+model::NodeSet paper_nodes(std::size_t n = 5) {
+  return model::homogeneous(n, 10.0, 500.0, 500.0);
+}
+
+SimConfig base_config(double sigma, double duration, std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.sigma = sigma;
+  cfg.duration = duration;
+  cfg.warmup = duration * 0.2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(SimulationLemma2, FrozenEtaOccupancyMatchesGibbs) {
+  // Freeze η at η* and compare the empirical network-state distribution with
+  // the stationary law (19) — the Lemma 2 cross-check.
+  const auto nodes = paper_nodes(4);
+  const double sigma = 0.5;
+  const auto p4 = gibbs::solve_p4(nodes, Mode::kGroupput, sigma);
+  SimConfig cfg = base_config(sigma, 4e6, 1234);
+  cfg.adapt_multiplier = false;
+  cfg.eta_init = p4.eta;
+  cfg.track_state_occupancy = true;
+  Simulation sim(nodes, model::Topology::clique(4), cfg);
+  const SimResult r = sim.run();
+
+  gibbs::ExactGibbs g(nodes, Mode::kGroupput, sigma);
+  const auto pi = g.distribution(p4.eta);
+  double l1 = 0.0;
+  for (std::size_t k = 0; k < pi.size(); ++k)
+    l1 += std::abs(pi[k] - r.state_occupancy[k]);
+  EXPECT_LT(l1, 0.02) << "total variation too large";
+}
+
+TEST(SimulationLemma2, FrozenEtaThroughputMatchesGibbsExpectation) {
+  const auto nodes = paper_nodes(5);
+  const auto p4 = gibbs::solve_p4(nodes, Mode::kGroupput, 0.5);
+  SimConfig cfg = base_config(0.5, 6e6, 77);
+  cfg.adapt_multiplier = false;
+  cfg.eta_init = p4.eta;
+  Simulation sim(nodes, model::Topology::clique(5), cfg);
+  const SimResult r = sim.run();
+  EXPECT_NEAR(r.groupput, p4.throughput, 0.12 * p4.throughput);
+  EXPECT_NEAR(r.listen_fraction[0], p4.alpha[0], 0.08 * p4.alpha[0]);
+  EXPECT_NEAR(r.transmit_fraction[0], p4.beta[0], 0.08 * p4.beta[0]);
+}
+
+TEST(SimulationAdaptive, ConvergesToAnalyticThroughput) {
+  // §VII-A: the simulated T̃^σ matches T^σ for σ = 0.5.
+  const auto nodes = paper_nodes(5);
+  const auto p4 = gibbs::solve_p4(nodes, Mode::kGroupput, 0.5);
+  SimConfig cfg = base_config(0.5, 3e6, 42);
+  cfg.warmup = 1e6;
+  Simulation sim(nodes, model::Topology::clique(5), cfg);
+  const SimResult r = sim.run();
+  EXPECT_NEAR(r.groupput, p4.throughput, 0.15 * p4.throughput);
+  // The adapted multiplier lands near η*.
+  EXPECT_NEAR(r.final_eta[0], p4.eta[0], 0.5 * p4.eta[0]);
+}
+
+TEST(SimulationAdaptive, PowerWithinBudget) {
+  const auto nodes = paper_nodes(5);
+  SimConfig cfg = base_config(0.5, 3e6, 7);
+  cfg.warmup = 1e6;
+  Simulation sim(nodes, model::Topology::clique(5), cfg);
+  const SimResult r = sim.run();
+  for (const double p : r.avg_power) EXPECT_NEAR(p, 10.0, 0.8);
+}
+
+TEST(SimulationAdaptive, AnyputModeMatchesAnalytic) {
+  const auto nodes = paper_nodes(5);
+  const auto p4 = gibbs::solve_p4(nodes, Mode::kAnyput, 0.5);
+  SimConfig cfg = base_config(0.5, 3e6, 99);
+  cfg.mode = Mode::kAnyput;
+  cfg.warmup = 1e6;
+  Simulation sim(nodes, model::Topology::clique(5), cfg);
+  const SimResult r = sim.run();
+  EXPECT_NEAR(r.anyput, p4.throughput, 0.15 * p4.throughput);
+}
+
+TEST(SimulationAdaptive, HeterogeneousNodesMeetIndividualBudgets) {
+  // Table II-style heterogeneous budgets; every node must consume at its own
+  // rate without knowing the others' parameters.
+  model::NodeSet nodes{{5.0, 500.0, 500.0},
+                       {10.0, 500.0, 500.0},
+                       {50.0, 500.0, 500.0},
+                       {100.0, 500.0, 500.0}};
+  SimConfig cfg = base_config(0.5, 4e6, 5);
+  cfg.warmup = 2e6;
+  Simulation sim(nodes, model::Topology::clique(4), cfg);
+  const SimResult r = sim.run();
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    EXPECT_NEAR(r.avg_power[i], nodes[i].budget, 0.15 * nodes[i].budget)
+        << "node " << i;
+}
+
+TEST(SimulationBurstiness, CaptureBurstsMatchAnalyticAtHalfSigma) {
+  const auto nodes = paper_nodes(5);
+  const auto p4 = gibbs::solve_p4(nodes, Mode::kGroupput, 0.5);
+  SimConfig cfg = base_config(0.5, 4e6, 3);
+  cfg.adapt_multiplier = false;
+  cfg.eta_init = p4.eta;
+  Simulation sim(nodes, model::Topology::clique(5), cfg);
+  const SimResult r = sim.run();
+  // Eq. (34) at σ = 0.5, N = 5 gives ~8 packets per received burst.
+  EXPECT_NEAR(r.burst_lengths.mean(), 8.0, 1.5);
+}
+
+TEST(SimulationBurstiness, AnyputBurstIndependentOfN) {
+  // Eq. (35): B_a = e^{1/σ} for any N.
+  for (const std::size_t n : {5u, 10u}) {
+    const auto nodes = paper_nodes(n);
+    const auto p4 = gibbs::solve_p4(nodes, Mode::kAnyput, 0.5);
+    SimConfig cfg = base_config(0.5, 3e6, 17 + n);
+    cfg.mode = Mode::kAnyput;
+    cfg.adapt_multiplier = false;
+    cfg.eta_init = p4.eta;
+    Simulation sim(nodes, model::Topology::clique(n), cfg);
+    const SimResult r = sim.run();
+    EXPECT_NEAR(r.burst_lengths.mean(), std::exp(2.0), 1.0) << "N=" << n;
+  }
+}
+
+TEST(SimulationVariants, NonCaptureMatchesCaptureThroughput) {
+  // Lemma 2 holds for both variants: same stationary law, same throughput.
+  const auto nodes = paper_nodes(5);
+  const auto p4 = gibbs::solve_p4(nodes, Mode::kGroupput, 0.5);
+  SimConfig cfg = base_config(0.5, 5e6, 11);
+  cfg.variant = Variant::kNonCapture;
+  cfg.adapt_multiplier = false;
+  cfg.eta_init = p4.eta;
+  Simulation sim(nodes, model::Topology::clique(5), cfg);
+  const SimResult r = sim.run();
+  EXPECT_NEAR(r.groupput, p4.throughput, 0.15 * p4.throughput);
+  // NC releases after every packet: bursts are single packets.
+  EXPECT_NEAR(r.burst_lengths.mean(), 1.0, 1e-9);
+}
+
+TEST(SimulationEstimators, DegradedEstimatesReduceButKeepThroughput) {
+  // §V-C: estimates need not be accurate; poor estimates reduce throughput.
+  // Adaptation on: with lossy estimates the protocol re-invests the energy
+  // it saves on aborted bursts, so throughput degrades but stays useful.
+  // The energy guard keeps the adaptation transient physical (without it, a
+  // burst started at η ≈ 0 with all nodes listening can hold the channel for
+  // e^{16} packet-times at σ = 0.25).
+  const auto nodes = paper_nodes(5);
+  SimConfig perfect_cfg = base_config(0.25, 3e6, 23);
+  perfect_cfg.warmup = 1e6;
+  perfect_cfg.energy_guard = true;
+  perfect_cfg.initial_energy = 5e5;
+  SimConfig lossy_cfg = perfect_cfg;
+  lossy_cfg.estimator.kind = EstimatorKind::kBinomialThinning;
+  lossy_cfg.estimator.detect_prob = 0.5;
+  const SimResult perfect =
+      Simulation(nodes, model::Topology::clique(5), perfect_cfg).run();
+  const SimResult lossy =
+      Simulation(nodes, model::Topology::clique(5), lossy_cfg).run();
+  EXPECT_GT(lossy.groupput, 0.1 * perfect.groupput);
+  EXPECT_LT(lossy.groupput, perfect.groupput);
+}
+
+TEST(SimulationGuard, BoundsGiantCapturesAtSmallSigma) {
+  // Adaptive start from η = 0 at σ = 0.25: without the guard a single early
+  // burst can capture the listeners for ~e^{16} packet-times; with the guard
+  // listeners brown out, the burst dies, and the run produces many bursts.
+  const auto nodes = paper_nodes(5);
+  SimConfig cfg = base_config(0.25, 1e6, 23);  // the seed that triggers it
+  cfg.energy_guard = true;
+  cfg.initial_energy = 5e5;  // receivers can pay for ~1000 listen-packets
+  Simulation sim(nodes, model::Topology::clique(5), cfg);
+  const SimResult r = sim.run();
+  EXPECT_GT(r.bursts, 100u);
+  EXPECT_LT(r.burst_lengths.max(), 2e4);
+}
+
+TEST(SimulationGuard, StorageNeverFarBelowFloor) {
+  const auto nodes = paper_nodes(5);
+  SimConfig cfg = base_config(0.5, 5e5, 3);
+  cfg.energy_guard = true;
+  cfg.initial_energy = 1000.0;
+  Simulation sim(nodes, model::Topology::clique(5), cfg);
+  const SimResult r = sim.run();
+  // With the guard, a node can overdraw by at most ~one packet of transmit
+  // beyond the floor (the affordability check is at packet granularity).
+  for (const double p : r.avg_power) EXPECT_LE(p, 10.0 * 1.3);
+}
+
+TEST(SimulationNonClique, GridAchievesFractionOfOracle) {
+  // Fig. 6: EconCast on a grid reaches ~10-25% of T*_nc at σ = 0.25-0.5.
+  const std::size_t k = 3;
+  const auto nodes = paper_nodes(k * k);
+  const auto topo = model::Topology::grid(k, k);
+  const auto bounds = oracle::nonclique_groupput(nodes, topo);
+  SimConfig cfg = base_config(0.5, 3e6, 31);
+  cfg.warmup = 1e6;
+  Simulation sim(nodes, topo, cfg);
+  const SimResult r = sim.run();
+  const double ratio = r.groupput / bounds.lower.throughput;
+  EXPECT_GT(ratio, 0.03);
+  EXPECT_LT(ratio, 1.0);
+}
+
+TEST(SimulationNonClique, LineTopologyRunsAndRespectsBudgets) {
+  const auto nodes = paper_nodes(4);
+  SimConfig cfg = base_config(0.5, 2e6, 13);
+  cfg.warmup = 1e6;
+  Simulation sim(nodes, model::Topology::line(4), cfg);
+  const SimResult r = sim.run();
+  for (const double p : r.avg_power) EXPECT_LT(p, 13.0);
+  EXPECT_GT(r.packets_sent, 0u);
+}
+
+TEST(SimulationDeterminism, SameSeedSameResult) {
+  const auto nodes = paper_nodes(5);
+  const SimConfig cfg = base_config(0.5, 2e5, 100);
+  const SimResult a = Simulation(nodes, model::Topology::clique(5), cfg).run();
+  const SimResult b = Simulation(nodes, model::Topology::clique(5), cfg).run();
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_DOUBLE_EQ(a.groupput, b.groupput);
+}
+
+TEST(SimulationDeterminism, DifferentSeedsDiffer) {
+  const auto nodes = paper_nodes(5);
+  SimConfig a_cfg = base_config(0.5, 2e5, 100);
+  SimConfig b_cfg = base_config(0.5, 2e5, 101);
+  const SimResult a = Simulation(nodes, model::Topology::clique(5), a_cfg).run();
+  const SimResult b = Simulation(nodes, model::Topology::clique(5), b_cfg).run();
+  EXPECT_NE(a.events_processed, b.events_processed);
+}
+
+TEST(SimulationLatency, SamplesRequireSleepAndAreNonnegative) {
+  const auto nodes = paper_nodes(5);
+  SimConfig cfg = base_config(0.25, 2e6, 19);
+  cfg.warmup = 5e5;
+  Simulation sim(nodes, model::Topology::clique(5), cfg);
+  SimResult r = sim.run();
+  ASSERT_GT(r.latencies.count(), 10u);
+  for (const double s : r.latencies.samples()) EXPECT_GE(s, 0.0);
+}
+
+TEST(SimulationLatency, LargerNReducesLatency) {
+  // §VII-D: more nodes -> each node receives more often.
+  auto mean_latency = [](std::size_t n) {
+    const auto nodes = paper_nodes(n);
+    SimConfig cfg;
+    cfg.sigma = 0.5;
+    cfg.duration = 3e6;
+    cfg.warmup = 5e5;
+    cfg.seed = 4;
+    Simulation sim(nodes, model::Topology::clique(n), cfg);
+    return sim.run().latencies.mean();
+  };
+  EXPECT_LT(mean_latency(10), mean_latency(5));
+}
+
+TEST(SimulationConfig, Validation) {
+  const auto nodes = paper_nodes(3);
+  SimConfig bad_sigma;
+  bad_sigma.sigma = 0.0;
+  EXPECT_THROW(Simulation(nodes, model::Topology::clique(3), bad_sigma),
+               std::invalid_argument);
+  SimConfig bad_warmup;
+  bad_warmup.duration = 10.0;
+  bad_warmup.warmup = 20.0;
+  EXPECT_THROW(Simulation(nodes, model::Topology::clique(3), bad_warmup),
+               std::invalid_argument);
+  SimConfig bad_occ;
+  bad_occ.track_state_occupancy = true;
+  EXPECT_THROW(Simulation(nodes, model::Topology::line(3), bad_occ),
+               std::invalid_argument);
+  SimConfig bad_eta;
+  bad_eta.eta_init = {0.0, 0.0};  // wrong size
+  EXPECT_THROW(Simulation(nodes, model::Topology::clique(3), bad_eta),
+               std::invalid_argument);
+  SimConfig ok;
+  EXPECT_THROW(Simulation(nodes, model::Topology::clique(4), ok),
+               std::invalid_argument);  // size mismatch
+}
+
+// Property sweep: protocol invariants hold for every combination of
+// variant, mode, and topology shape.
+struct SweepParam {
+  Variant variant;
+  model::Mode mode;
+  int topology;  // 0 = clique, 1 = grid, 2 = ring
+};
+
+class SimulationSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SimulationSweep, ProtocolInvariants) {
+  const SweepParam p = GetParam();
+  const std::size_t n = p.topology == 1 ? 9 : 6;
+  const auto nodes = paper_nodes(n);
+  const model::Topology topo =
+      p.topology == 0   ? model::Topology::clique(n)
+      : p.topology == 1 ? model::Topology::grid(3, 3)
+                        : model::Topology::ring(n);
+  SimConfig cfg;
+  cfg.variant = p.variant;
+  cfg.mode = p.mode;
+  cfg.sigma = 0.5;
+  cfg.duration = 8e5;
+  cfg.warmup = 3e5;
+  cfg.seed = 1234;
+  Simulation sim(nodes, topo, cfg);
+  const SimResult r = sim.run();
+
+  // Power stays near the budget; throughput is positive and bounded by the
+  // structural maxima; anyput <= groupput <= degree_max * anyput.
+  for (const double power : r.avg_power) EXPECT_LT(power, 10.0 * 1.5);
+  EXPECT_GT(r.packets_sent, 0u);
+  EXPECT_GE(r.groupput, r.anyput - 1e-12);
+  EXPECT_LE(r.groupput, static_cast<double>(n - 1) * r.anyput + 1e-12);
+  EXPECT_LE(r.anyput, 1.0);
+  // Non-capture never extends bursts.
+  if (p.variant == Variant::kNonCapture && r.bursts > 0)
+    EXPECT_DOUBLE_EQ(r.burst_lengths.max(), 1.0);
+  // Fractions are probabilities.
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GE(r.listen_fraction[i], 0.0);
+    EXPECT_LE(r.listen_fraction[i] + r.transmit_fraction[i], 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantModeTopology, SimulationSweep,
+    ::testing::Values(
+        SweepParam{Variant::kCapture, Mode::kGroupput, 0},
+        SweepParam{Variant::kCapture, Mode::kGroupput, 1},
+        SweepParam{Variant::kCapture, Mode::kGroupput, 2},
+        SweepParam{Variant::kCapture, Mode::kAnyput, 0},
+        SweepParam{Variant::kCapture, Mode::kAnyput, 1},
+        SweepParam{Variant::kCapture, Mode::kAnyput, 2},
+        SweepParam{Variant::kNonCapture, Mode::kGroupput, 0},
+        SweepParam{Variant::kNonCapture, Mode::kGroupput, 1},
+        SweepParam{Variant::kNonCapture, Mode::kGroupput, 2},
+        SweepParam{Variant::kNonCapture, Mode::kAnyput, 0},
+        SweepParam{Variant::kNonCapture, Mode::kAnyput, 1},
+        SweepParam{Variant::kNonCapture, Mode::kAnyput, 2}));
+
+TEST(SimulationAccounting, FractionsAndCreditsConsistent) {
+  const auto nodes = paper_nodes(5);
+  SimConfig cfg = base_config(0.5, 1e6, 55);
+  Simulation sim(nodes, model::Topology::clique(5), cfg);
+  const SimResult r = sim.run();
+  // Total transmit fraction should match packets sent (unit packets).
+  double beta_sum = 0.0;
+  for (const double b : r.transmit_fraction) beta_sum += b;
+  EXPECT_NEAR(beta_sum * r.measured_window,
+              static_cast<double>(r.packets_sent), 60.0);
+  // Groupput cannot exceed total listen time.
+  double alpha_sum = 0.0;
+  for (const double a : r.listen_fraction) alpha_sum += a;
+  EXPECT_LE(r.groupput, alpha_sum + 1e-9);
+  // Anyput <= groupput <= (N-1) anyput.
+  EXPECT_LE(r.anyput, r.groupput + 1e-12);
+  EXPECT_LE(r.groupput, 4.0 * r.anyput + 1e-12);
+}
+
+}  // namespace

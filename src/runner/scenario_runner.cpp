@@ -1,0 +1,111 @@
+#include "runner/scenario_runner.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/random.h"
+
+namespace econcast::runner {
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) noexcept {
+  // Two splitmix64 steps over a base/index mix: adjacent indices land in
+  // unrelated regions of the 2^64 stream space, and index 0 is not the
+  // identity on base_seed.
+  std::uint64_t state = base_seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  util::splitmix64_next(state);
+  return util::splitmix64_next(state);
+}
+
+ScenarioRunner::ScenarioRunner(RunnerOptions options) : options_(options) {}
+
+std::size_t ScenarioRunner::effective_threads() const noexcept {
+  if (options_.num_threads > 0) return options_.num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void ScenarioRunner::for_each(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+
+  const std::size_t workers = std::min(effective_threads(), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  try {
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  } catch (...) {
+    // Thread creation failed (resource exhaustion); the workers already
+    // started must be joined before the pool vector unwinds, or their
+    // destructors call std::terminate.
+    failed.store(true, std::memory_order_relaxed);
+    for (std::thread& t : pool) t.join();
+    throw;
+  }
+  for (std::thread& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+BatchResult ScenarioRunner::run(const std::vector<Scenario>& batch) const {
+  BatchResult out;
+  out.results.resize(batch.size());
+
+  for_each(batch.size(), [&](std::size_t i) {
+    const Scenario& s = batch[i];
+    proto::SimConfig config = s.config;
+    if (options_.reseed) config.seed = derive_seed(options_.base_seed, i);
+    proto::Simulation sim(s.nodes, s.topology, config);
+    out.results[i] = sim.run();
+  });
+
+  out.summary = summarize(out.results);
+  return out;
+}
+
+BatchSummary summarize(const std::vector<proto::SimResult>& results) {
+  BatchSummary summary;
+  for (const proto::SimResult& r : results) {
+    summary.groupput.add(r.groupput);
+    summary.anyput.add(r.anyput);
+    // A run that completed no bursts has no burst-length sample — adding its
+    // 0.0 placeholder mean would bias the batch toward 0 exactly when bursts
+    // are too long to finish.
+    if (r.burst_lengths.count() > 0) {
+      summary.burst_length.add(r.burst_lengths.mean());
+    }
+    util::RunningStats power;
+    for (const double p : r.avg_power) power.add(p);
+    summary.node_power.add(power.mean());
+    summary.packets_received.add(static_cast<double>(r.packets_received));
+  }
+  return summary;
+}
+
+}  // namespace econcast::runner

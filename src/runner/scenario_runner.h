@@ -1,0 +1,104 @@
+// Parallel batch execution of simulation scenarios.
+//
+// The paper's evaluation (and the related throughput-optimal-broadcast
+// literature) is built on sweeps: hundreds of sampled networks per
+// heterogeneity point, several (N, σ, mode) cells per figure. ScenarioRunner
+// makes that batch workload first-class: it executes a vector of
+// (NodeSet, Topology, SimConfig) scenarios across a std::thread pool and
+// aggregates the per-scenario SimResults into summary statistics.
+//
+// Determinism contract: each scenario i runs with
+//   seed = derive_seed(base_seed, i)
+// (unless reseeding is disabled, in which case the scenario's own
+// config.seed is used), every worker writes only to its own result slot,
+// and aggregation happens in index order after the pool drains. The
+// aggregate output is therefore bit-identical for any thread count,
+// including 1 — covered by tests/test_runner.cpp.
+#ifndef ECONCAST_RUNNER_SCENARIO_RUNNER_H
+#define ECONCAST_RUNNER_SCENARIO_RUNNER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "econcast/simulation.h"
+#include "model/network.h"
+#include "model/node_params.h"
+#include "util/stats.h"
+
+namespace econcast::runner {
+
+/// Derives the seed for scenario `index` from a batch-level base seed via
+/// splitmix64, so scenarios get decorrelated streams and the mapping depends
+/// only on (base_seed, index) — never on which thread picks the scenario up.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) noexcept;
+
+/// One unit of work: a network and the simulation configuration to run on it.
+struct Scenario {
+  /// Free-form label for the caller's own reporting; the runner ignores it.
+  std::string name;
+  model::NodeSet nodes;
+  model::Topology topology = model::Topology::clique(1);  // placeholder: set me
+  proto::SimConfig config;
+};
+
+struct RunnerOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  std::size_t num_threads = 0;
+
+  /// Batch-level seed from which per-scenario seeds are derived.
+  std::uint64_t base_seed = 1;
+
+  /// When false, each scenario runs with its own config.seed untouched
+  /// (useful to reproduce a specific previously-logged run).
+  bool reseed = true;
+};
+
+/// Index-ordered summary statistics over a batch (one sample per scenario).
+struct BatchSummary {
+  util::RunningStats groupput;
+  util::RunningStats anyput;
+  util::RunningStats burst_length;   // per-scenario mean burst length
+  util::RunningStats node_power;     // per-scenario mean of avg_power
+  util::RunningStats packets_received;
+};
+
+struct BatchResult {
+  /// Index-aligned with the submitted batch.
+  std::vector<proto::SimResult> results;
+  BatchSummary summary;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(RunnerOptions options = {});
+
+  /// Runs every scenario of the batch (possibly in parallel) and aggregates.
+  /// The first exception thrown by any scenario is rethrown here after all
+  /// workers have stopped.
+  BatchResult run(const std::vector<Scenario>& batch) const;
+
+  /// Low-level parallel for: invokes fn(i) for every i in [0, n) across the
+  /// pool. fn must confine its writes to per-index state. The first
+  /// exception thrown by any invocation is rethrown after the pool drains;
+  /// remaining indices are abandoned. Exposed for sweeps whose unit of work
+  /// is not a Simulation (e.g. the Fig. 2 oracle-ratio cells).
+  void for_each(std::size_t n,
+                const std::function<void(std::size_t)>& fn) const;
+
+  std::size_t effective_threads() const noexcept;
+
+ private:
+  RunnerOptions options_;
+};
+
+/// Aggregates results in index order (deterministic regardless of the thread
+/// count that produced them). Exposed for callers that post-process results
+/// before summarizing.
+BatchSummary summarize(const std::vector<proto::SimResult>& results);
+
+}  // namespace econcast::runner
+
+#endif  // ECONCAST_RUNNER_SCENARIO_RUNNER_H

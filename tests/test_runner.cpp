@@ -1,0 +1,185 @@
+// Tests for the parallel scenario runner: the determinism contract (thread
+// count must not affect any output bit), edge cases (empty batch, single
+// scenario), seed derivation, and exception propagation out of the pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "runner/scenario_runner.h"
+
+namespace {
+
+using namespace econcast;
+using runner::BatchResult;
+using runner::RunnerOptions;
+using runner::Scenario;
+using runner::ScenarioRunner;
+
+Scenario small_scenario(std::size_t n, model::Mode mode, double sigma) {
+  Scenario s;
+  s.name = "clique";
+  s.nodes = model::homogeneous(n, 10.0, 500.0, 500.0);
+  s.topology = model::Topology::clique(n);
+  s.config.mode = mode;
+  s.config.sigma = sigma;
+  s.config.duration = 2e4;
+  s.config.warmup = 1e3;
+  return s;
+}
+
+std::vector<Scenario> mixed_batch() {
+  std::vector<Scenario> batch;
+  batch.push_back(small_scenario(4, model::Mode::kGroupput, 0.5));
+  batch.push_back(small_scenario(5, model::Mode::kAnyput, 0.5));
+  batch.push_back(small_scenario(3, model::Mode::kGroupput, 0.25));
+  batch.push_back(small_scenario(6, model::Mode::kAnyput, 0.75));
+  Scenario grid;
+  grid.name = "grid";
+  grid.nodes = model::homogeneous(6, 10.0, 500.0, 500.0);
+  grid.topology = model::Topology::grid(2, 3);
+  grid.config.sigma = 0.5;
+  grid.config.duration = 2e4;
+  batch.push_back(grid);
+  batch.push_back(small_scenario(4, model::Mode::kAnyput, 0.4));
+  return batch;
+}
+
+void expect_bit_identical(const proto::SimResult& a, const proto::SimResult& b) {
+  EXPECT_EQ(a.groupput, b.groupput);
+  EXPECT_EQ(a.anyput, b.anyput);
+  EXPECT_EQ(a.measured_window, b.measured_window);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.packets_received, b.packets_received);
+  EXPECT_EQ(a.bursts, b.bursts);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.avg_power, b.avg_power);
+  EXPECT_EQ(a.listen_fraction, b.listen_fraction);
+  EXPECT_EQ(a.transmit_fraction, b.transmit_fraction);
+  EXPECT_EQ(a.final_eta, b.final_eta);
+  EXPECT_EQ(a.burst_lengths.count(), b.burst_lengths.count());
+  EXPECT_EQ(a.burst_lengths.mean(), b.burst_lengths.mean());
+  EXPECT_EQ(a.latencies.samples(), b.latencies.samples());
+}
+
+// ------------------------------------------------------------ derive_seed --
+
+TEST(DeriveSeed, DeterministicAndDistinct) {
+  EXPECT_EQ(runner::derive_seed(7, 0), runner::derive_seed(7, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(runner::derive_seed(7, i));
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_NE(runner::derive_seed(7, 0), runner::derive_seed(8, 0));
+}
+
+// ------------------------------------------------------------- edge cases --
+
+TEST(ScenarioRunner, EmptyBatch) {
+  ScenarioRunner r(RunnerOptions{4, 1, true});
+  const BatchResult out = r.run({});
+  EXPECT_TRUE(out.results.empty());
+  EXPECT_EQ(out.summary.groupput.count(), 0u);
+  EXPECT_EQ(out.summary.groupput.mean(), 0.0);
+}
+
+TEST(ScenarioRunner, SingleScenarioMatchesDirectRun) {
+  const std::vector<Scenario> batch{small_scenario(4, model::Mode::kGroupput, 0.5)};
+  ScenarioRunner r(RunnerOptions{4, 99, true});
+  const BatchResult out = r.run(batch);
+  ASSERT_EQ(out.results.size(), 1u);
+
+  proto::SimConfig config = batch[0].config;
+  config.seed = runner::derive_seed(99, 0);
+  proto::Simulation direct(batch[0].nodes, batch[0].topology, config);
+  expect_bit_identical(out.results[0], direct.run());
+  EXPECT_EQ(out.summary.groupput.count(), 1u);
+  EXPECT_EQ(out.summary.groupput.mean(), out.results[0].groupput);
+}
+
+TEST(ScenarioRunner, ReseedOffUsesScenarioSeed) {
+  std::vector<Scenario> batch{small_scenario(4, model::Mode::kGroupput, 0.5)};
+  batch[0].config.seed = 12345;
+  ScenarioRunner r(RunnerOptions{2, 99, /*reseed=*/false});
+  const BatchResult out = r.run(batch);
+
+  proto::Simulation direct(batch[0].nodes, batch[0].topology, batch[0].config);
+  expect_bit_identical(out.results[0], direct.run());
+}
+
+// ------------------------------------------------------------ determinism --
+
+TEST(ScenarioRunner, ThreadCountDoesNotChangeResults) {
+  const std::vector<Scenario> batch = mixed_batch();
+  const BatchResult serial = ScenarioRunner(RunnerOptions{1, 7, true}).run(batch);
+  const BatchResult parallel4 = ScenarioRunner(RunnerOptions{4, 7, true}).run(batch);
+
+  ASSERT_EQ(serial.results.size(), batch.size());
+  ASSERT_EQ(parallel4.results.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_bit_identical(serial.results[i], parallel4.results[i]);
+  }
+  // Aggregates are accumulated in index order, so they must match to the bit.
+  EXPECT_EQ(serial.summary.groupput.mean(), parallel4.summary.groupput.mean());
+  EXPECT_EQ(serial.summary.groupput.stddev(), parallel4.summary.groupput.stddev());
+  EXPECT_EQ(serial.summary.anyput.mean(), parallel4.summary.anyput.mean());
+  EXPECT_EQ(serial.summary.burst_length.mean(),
+            parallel4.summary.burst_length.mean());
+  EXPECT_EQ(serial.summary.node_power.mean(), parallel4.summary.node_power.mean());
+  EXPECT_EQ(serial.summary.packets_received.sum(),
+            parallel4.summary.packets_received.sum());
+}
+
+TEST(ScenarioRunner, MoreThreadsThanScenarios) {
+  const std::vector<Scenario> batch{small_scenario(3, model::Mode::kAnyput, 0.5),
+                                    small_scenario(4, model::Mode::kAnyput, 0.5)};
+  const BatchResult a = ScenarioRunner(RunnerOptions{16, 3, true}).run(batch);
+  const BatchResult b = ScenarioRunner(RunnerOptions{1, 3, true}).run(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_bit_identical(a.results[i], b.results[i]);
+  }
+}
+
+// -------------------------------------------------------------- exceptions --
+
+TEST(ScenarioRunner, ScenarioFailurePropagates) {
+  std::vector<Scenario> batch = mixed_batch();
+  batch[3].config.sigma = -1.0;  // Simulation's constructor rejects this
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE(threads);
+    ScenarioRunner r(RunnerOptions{threads, 7, true});
+    EXPECT_THROW(r.run(batch), std::invalid_argument);
+  }
+}
+
+TEST(ScenarioRunner, ForEachPropagatesFirstException) {
+  ScenarioRunner r(RunnerOptions{4, 1, true});
+  std::atomic<int> calls{0};
+  EXPECT_THROW(
+      r.for_each(100,
+                 [&](std::size_t i) {
+                   calls.fetch_add(1);
+                   if (i == 13) throw std::runtime_error("boom");
+                 }),
+      std::runtime_error);
+  // Workers stop early once a failure is flagged; at minimum the failing
+  // index ran, and no more than the full batch.
+  EXPECT_GE(calls.load(), 1);
+  EXPECT_LE(calls.load(), 100);
+}
+
+TEST(ScenarioRunner, ForEachCoversAllIndicesOnce) {
+  ScenarioRunner r(RunnerOptions{4, 1, true});
+  std::vector<int> hits(257, 0);
+  r.for_each(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace

@@ -2,89 +2,107 @@
 // function of the power-consumption ratio X/L (with L + X = 1 mW,
 // ρ = 10 µW, N = 5), overlaid with the prior-art baselines on the groupput
 // panel: Panda, Birthday, and the Searchlight upper bound.
+//
+// The whole figure is two declarative sweeps over the protocol registry —
+// each cell (power point × protocol × σ) is one scenario, and one
+// ScenarioRunner batch evaluates every protocol under identical settings
+// across all cores. The analytic protocols are deterministic, so the table
+// matches the old direct-call implementation value for value.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
-#include "baselines/birthday.h"
-#include "baselines/panda.h"
-#include "baselines/searchlight.h"
 #include "bench_common.h"
-#include "gibbs/p4_solver.h"
-#include "oracle/clique_oracle.h"
+#include "protocol/protocol.h"
+#include "runner/scenario_runner.h"
+#include "runner/sweep_spec.h"
 #include "util/table.h"
 
 int main() {
   using namespace econcast;
   bench::banner("Figure 3", "T^sigma/T* vs X/L, with prior art (N=5, rho=10uW)");
 
-  constexpr std::size_t kN = 5;
   constexpr double kBudget = 10.0;    // µW
   constexpr double kTotal = 1000.0;   // L + X in µW
-  const double ratios[] = {1.0 / 9, 1.0 / 4, 3.0 / 7, 2.0 / 3, 1.0,
-                           3.0 / 2, 7.0 / 3, 4.0,     9.0};
-  const double sigmas[] = {0.1, 0.25, 0.5};
+  const std::vector<double> ratios{1.0 / 9, 1.0 / 4, 3.0 / 7, 2.0 / 3, 1.0,
+                                   3.0 / 2, 7.0 / 3, 4.0,     9.0};
+  const std::vector<double> sigmas{0.1, 0.25, 0.5};
+  const auto powers = runner::power_ratio_axis(ratios, kBudget, kTotal);
+  const runner::ScenarioRunner pool;
 
-  // Panel (a): groupput, including baselines.
+  // Panel (a): groupput, including baselines. Protocol axis order:
+  // 0 = EconCast achievable (σ from the sigma axis), 1..3 = baselines
+  // (σ-independent; their values are read at sigma index 0), 4 = oracle.
+  const runner::SweepSpec sweep_a =
+      runner::SweepSpec("fig3a")
+          .protocols({protocol::p4_spec(model::Mode::kGroupput, 0.5),
+                      protocol::panda_spec(), protocol::birthday_spec(),
+                      protocol::searchlight_spec(),
+                      protocol::oracle_spec(model::Mode::kGroupput)})
+          .modes({model::Mode::kGroupput})
+          .powers(powers)
+          .sigmas(sigmas);
+  const runner::BatchResult panel_a = pool.run(sweep_a.expand());
+
   {
     util::Table t({"X/L", "s=0.1", "s=0.25", "s=0.5", "Panda", "Birthday",
                    "Searchlight"});
-    for (const double r : ratios) {
-      const double x = kTotal * r / (1.0 + r);
-      const double l = kTotal - x;
-      const auto nodes = model::homogeneous(kN, kBudget, l, x);
-      const double t_star = oracle::groupput(nodes).throughput;
+    for (std::size_t p = 0; p < powers.size(); ++p) {
+      const double t_star =
+          panel_a.results[sweep_a.cell_index(4, 0, 0, p, 0)].groupput;
       t.add_row();
-      t.add_cell(r, 3);
-      for (const double sigma : sigmas)
-        t.add_cell(gibbs::solve_p4(nodes, model::Mode::kGroupput, sigma)
-                           .throughput / t_star,
+      t.add_cell(ratios[p], 3);
+      for (std::size_t s = 0; s < sigmas.size(); ++s)
+        t.add_cell(panel_a.results[sweep_a.cell_index(0, 0, 0, p, s)].groupput /
+                       t_star,
                    4);
-      t.add_cell(baselines::optimize_panda(kN, kBudget, l, x).throughput /
-                     t_star,
-                 4);
-      t.add_cell(baselines::optimize_birthday(kN, kBudget, l, x,
-                                              model::Mode::kGroupput)
-                         .throughput / t_star,
-                 4);
-      baselines::SearchlightConfig sc;
-      sc.budget = kBudget;
-      sc.listen_power = l;
-      t.add_cell(baselines::analyze_searchlight(sc).groupput_upper_bound(kN) /
-                     t_star,
-                 4);
+      for (std::size_t proto = 1; proto <= 3; ++proto)
+        t.add_cell(
+            panel_a.results[sweep_a.cell_index(proto, 0, 0, p, 0)].groupput /
+                t_star,
+            4);
     }
     t.print(std::cout, "Fig. 3(a) — groupput ratio T^s_g / T*_g");
   }
   std::printf("\n");
 
-  // Panel (b): anyput.
+  // Panel (b): anyput — the achievable curve against the anyput oracle.
+  const runner::SweepSpec sweep_b =
+      runner::SweepSpec("fig3b")
+          .protocols({protocol::p4_spec(model::Mode::kAnyput, 0.5),
+                      protocol::oracle_spec(model::Mode::kAnyput)})
+          .modes({model::Mode::kAnyput})
+          .powers(powers)
+          .sigmas(sigmas);
+  const runner::BatchResult panel_b = pool.run(sweep_b.expand());
+
   {
     util::Table t({"X/L", "s=0.1", "s=0.25", "s=0.5"});
-    for (const double r : ratios) {
-      const double x = kTotal * r / (1.0 + r);
-      const double l = kTotal - x;
-      const auto nodes = model::homogeneous(kN, kBudget, l, x);
-      const double t_star = oracle::anyput(nodes).throughput;
+    for (std::size_t p = 0; p < powers.size(); ++p) {
+      const double t_star =
+          panel_b.results[sweep_b.cell_index(1, 0, 0, p, 0)].anyput;
       t.add_row();
-      t.add_cell(r, 3);
-      for (const double sigma : sigmas)
-        t.add_cell(gibbs::solve_p4(nodes, model::Mode::kAnyput, sigma)
-                           .throughput / t_star,
+      t.add_cell(ratios[p], 3);
+      for (std::size_t s = 0; s < sigmas.size(); ++s)
+        t.add_cell(panel_b.results[sweep_b.cell_index(0, 0, 0, p, s)].anyput /
+                       t_star,
                    4);
     }
     t.print(std::cout, "Fig. 3(b) — anyput ratio T^s_a / T*_a");
   }
 
-  // The headline claim.
+  // The headline claim, read straight from the panel (a) batch at the
+  // X = L = 500 µW power point (ratio index 4).
   {
-    const auto nodes = model::homogeneous(kN, kBudget, 500.0, 500.0);
-    const double t_star = oracle::groupput(nodes).throughput;
+    constexpr std::size_t kSymmetric = 4;  // ratios[4] == 1.0
+    const double t_star =
+        panel_a.results[sweep_a.cell_index(4, 0, 0, kSymmetric, 0)].groupput;
     const double panda =
-        baselines::optimize_panda(kN, kBudget, 500.0, 500.0).throughput;
+        panel_a.results[sweep_a.cell_index(1, 0, 0, kSymmetric, 0)].groupput;
     const double g05 =
-        gibbs::solve_p4(nodes, model::Mode::kGroupput, 0.5).throughput;
+        panel_a.results[sweep_a.cell_index(0, 0, 0, kSymmetric, 2)].groupput;
     const double g025 =
-        gibbs::solve_p4(nodes, model::Mode::kGroupput, 0.25).throughput;
+        panel_a.results[sweep_a.cell_index(0, 0, 0, kSymmetric, 1)].groupput;
     std::printf("\nheadline at X = L = 500uW: EconCast/Panda = %.1fx (s=0.5), "
                 "%.1fx (s=0.25)   [oracle ratio %.3f/%.3f]\n",
                 g05 / panda, g025 / panda, g05 / t_star, g025 / t_star);

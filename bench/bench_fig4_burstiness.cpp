@@ -26,16 +26,15 @@ runner::Scenario marker_scenario(std::size_t n, model::Mode mode, double sigma,
                                  double duration) {
   const auto nodes = model::homogeneous(n, 10.0, 500.0, 500.0);
   const auto p4 = gibbs::solve_p4(nodes, mode, sigma);
-  runner::Scenario s;
-  s.nodes = nodes;
-  s.topology = model::Topology::clique(n);
-  s.config.mode = mode;
-  s.config.sigma = sigma;
-  s.config.duration = duration;
-  s.config.warmup = duration * 0.1;
-  s.config.adapt_multiplier = false;  // markers at the converged operating point
-  s.config.eta_init = p4.eta;
-  return s;
+  proto::SimConfig cfg;
+  cfg.mode = mode;
+  cfg.sigma = sigma;
+  cfg.duration = duration;
+  cfg.warmup = duration * 0.1;
+  cfg.adapt_multiplier = false;  // markers at the converged operating point
+  cfg.eta_init = p4.eta;
+  return runner::econcast_scenario("fig4", nodes, model::Topology::clique(n),
+                                   cfg);
 }
 
 }  // namespace

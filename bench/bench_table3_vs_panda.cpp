@@ -1,13 +1,21 @@
 // Reproduces Table III: experimental (testbed-emulated) EconCast-C
 // throughput vs the analytically computed Panda throughput, both normalized
 // to the achievable T^σ_g, with σ = 0.25 and (N, ρ) ∈ {5,10} x {1,5} mW.
+//
+// One SweepSpec crosses (N, ρ) with the three protocols — the firmware
+// emulation ("econcast-testbed"), the achievable bound ("econcast-p4") and
+// the analytical Panda optimum ("panda") — so the four multi-hour testbed
+// cells run in parallel through ScenarioRunner instead of back to back.
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "baselines/panda.h"
 #include "bench_common.h"
-#include "gibbs/p4_solver.h"
-#include "testbed/firmware.h"
+#include "protocol/protocol.h"
+#include "runner/scenario_runner.h"
+#include "runner/sweep_spec.h"
+#include "testbed/ez430.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -15,32 +23,44 @@ int main(int argc, char** argv) {
   const long hours = bench::knob(argc, argv, 12);
   bench::banner("Table III", "testbed EconCast-C vs analytical Panda (sigma=0.25)");
 
-  util::Table t({"(N, rho mW)", "T~/T^s %", "Panda/T^s %", "T~/Panda"});
-  for (const std::size_t n : {5u, 10u}) {
-    for (const double rho : {1.0, 5.0}) {
-      testbed::TestbedConfig cfg;
-      cfg.n = n;
-      cfg.budget_mw = rho;
-      cfg.sigma = 0.25;
-      cfg.duration_ms = static_cast<double>(hours) * 3600e3;
-      cfg.warmup_ms = cfg.duration_ms / 3.0;
-      cfg.seed = 300 + n + static_cast<std::uint64_t>(rho);
-      const auto r = testbed::run_testbed(cfg);
+  const testbed::Ez430Constants hw;  // mW units throughout this table
+  protocol::TestbedParams testbed;
+  testbed.sigma = 0.25;
+  testbed.duration_ms = static_cast<double>(hours) * 3600e3;
+  testbed.warmup_ms = testbed.duration_ms / 3.0;
 
-      const auto nodes = model::homogeneous(n, rho, cfg.hw.listen_power_mw,
-                                            cfg.hw.transmit_power_mw);
+  const std::size_t kTestbed = 0, kP4 = 1, kPanda = 2;
+  const std::vector<std::size_t> node_counts{5, 10};
+  const std::vector<double> budgets_mw{1.0, 5.0};
+  std::vector<runner::PowerPoint> powers;
+  for (const double rho : budgets_mw)
+    powers.push_back({rho, hw.listen_power_mw, hw.transmit_power_mw});
+  const runner::SweepSpec sweep =
+      runner::SweepSpec("table3")
+          .protocols({protocol::testbed_spec(testbed),
+                      protocol::p4_spec(model::Mode::kGroupput, 0.25),
+                      protocol::panda_spec()})
+          .node_counts(node_counts)
+          .powers(powers)
+          .sigmas({0.25});
+  const runner::ScenarioRunner pool({/*num_threads=*/0, /*base_seed=*/300});
+  const runner::BatchResult run = pool.run(sweep.expand());
+
+  util::Table t({"(N, rho mW)", "T~/T^s %", "Panda/T^s %", "T~/Panda"});
+  for (std::size_t n_i = 0; n_i < node_counts.size(); ++n_i) {
+    for (std::size_t p_i = 0; p_i < budgets_mw.size(); ++p_i) {
+      const double measured =
+          run.results[sweep.cell_index(kTestbed, 0, n_i, p_i)].groupput;
       const double t_sigma =
-          gibbs::solve_p4(nodes, model::Mode::kGroupput, cfg.sigma).throughput;
+          run.results[sweep.cell_index(kP4, 0, n_i, p_i)].groupput;
       const double panda =
-          baselines::optimize_panda(n, rho, cfg.hw.listen_power_mw,
-                                    cfg.hw.transmit_power_mw)
-              .throughput;
+          run.results[sweep.cell_index(kPanda, 0, n_i, p_i)].groupput;
       t.add_row();
-      t.add_cell("(" + std::to_string(n) + ", " +
-                 util::format_double(rho, 0) + ")");
-      t.add_cell(100.0 * r.groupput / t_sigma, 2);
+      t.add_cell("(" + std::to_string(node_counts[n_i]) + ", " +
+                 util::format_double(budgets_mw[p_i], 0) + ")");
+      t.add_cell(100.0 * measured / t_sigma, 2);
       t.add_cell(100.0 * panda / t_sigma, 2);
-      t.add_cell(r.groupput / panda, 2);
+      t.add_cell(measured / panda, 2);
     }
   }
   t.print(std::cout, "Table III");

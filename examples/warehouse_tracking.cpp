@@ -58,17 +58,16 @@ int main() {
   std::printf("oracle groupput of the mix: %.5f\n", oracle_sol.throughput);
 
   // Distributed operation, replicated across independent seeds.
-  runner::Scenario base;
-  base.name = "warehouse";
-  base.nodes = nodes;
-  base.topology = model::Topology::clique(n);
-  base.config.mode = model::Mode::kGroupput;
-  base.config.sigma = 0.5;
-  base.config.duration = 4e6;
-  base.config.warmup = 2e6;
-  base.config.energy_guard = true;
-  base.config.initial_energy = 5e5;
-  const std::vector<runner::Scenario> batch(kReplicas, base);
+  proto::SimConfig cfg;
+  cfg.mode = model::Mode::kGroupput;
+  cfg.sigma = 0.5;
+  cfg.duration = 4e6;
+  cfg.warmup = 2e6;
+  cfg.energy_guard = true;
+  cfg.initial_energy = 5e5;
+  const std::vector<runner::Scenario> batch(
+      kReplicas, runner::econcast_scenario("warehouse", nodes,
+                                           model::Topology::clique(n), cfg));
 
   const runner::ScenarioRunner pool({/*num_threads=*/0, /*base_seed=*/7});
   const runner::BatchResult run = pool.run(batch);
@@ -80,7 +79,7 @@ int main() {
               "power used", "listen %", "tx %");
   for (std::size_t i = 0; i < n; ++i) {
     util::RunningStats power, listen, transmit;
-    for (const proto::SimResult& r : run.results) {
+    for (const protocol::SimResult& r : run.results) {
       power.add(r.avg_power[i]);
       listen.add(r.listen_fraction[i]);
       transmit.add(r.transmit_fraction[i]);

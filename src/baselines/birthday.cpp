@@ -78,27 +78,44 @@ BirthdayDesign optimize_birthday(std::size_t n, double budget,
   return design;
 }
 
-double simulate_birthday(std::size_t n, double p_transmit, double p_listen,
-                         model::Mode mode, std::uint64_t slots,
-                         std::uint64_t seed) {
+BirthdaySimDetail simulate_birthday_detailed(std::size_t n, double p_transmit,
+                                             double p_listen,
+                                             std::uint64_t slots,
+                                             std::uint64_t seed) {
   util::Rng rng(seed);
-  double credit = 0.0;
+  BirthdaySimDetail detail;
+  detail.slots = slots;
+  detail.listen_slots.assign(n, 0);
+  detail.transmit_slots.assign(n, 0);
   for (std::uint64_t s = 0; s < slots; ++s) {
     int transmitters = 0;
     int listeners = 0;
     for (std::size_t i = 0; i < n; ++i) {
       const double u = rng.uniform();
-      if (u < p_transmit)
+      if (u < p_transmit) {
         ++transmitters;
-      else if (u < p_transmit + p_listen)
+        ++detail.transmit_slots[i];
+      } else if (u < p_transmit + p_listen) {
         ++listeners;
+        ++detail.listen_slots[i];
+      }
     }
     if (transmitters == 1) {
-      credit += mode == model::Mode::kGroupput
-                    ? static_cast<double>(listeners)
-                    : (listeners > 0 ? 1.0 : 0.0);
+      ++detail.packets;
+      detail.groupput_credit += static_cast<double>(listeners);
+      detail.anyput_credit += listeners > 0 ? 1.0 : 0.0;
     }
   }
+  return detail;
+}
+
+double simulate_birthday(std::size_t n, double p_transmit, double p_listen,
+                         model::Mode mode, std::uint64_t slots,
+                         std::uint64_t seed) {
+  const BirthdaySimDetail d =
+      simulate_birthday_detailed(n, p_transmit, p_listen, slots, seed);
+  const double credit =
+      mode == model::Mode::kGroupput ? d.groupput_credit : d.anyput_credit;
   return credit / static_cast<double>(slots);
 }
 

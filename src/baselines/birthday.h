@@ -15,6 +15,7 @@
 #define ECONCAST_BASELINES_BIRTHDAY_H
 
 #include <cstdint>
+#include <vector>
 
 #include "model/node_params.h"
 #include "model/state_space.h"
@@ -38,8 +39,29 @@ BirthdayDesign optimize_birthday(std::size_t n, double budget,
                                  double listen_power, double transmit_power,
                                  model::Mode mode);
 
+/// Full accounting of one slotted Birthday run — the payload the
+/// protocol::Protocol adapter maps onto the unified SimResult. Both
+/// throughput modes are tallied from the same slot draws, so either shim
+/// view is bit-identical to the seed version's single-mode run.
+struct BirthdaySimDetail {
+  std::uint64_t slots = 0;
+  double groupput_credit = 0.0;  // Σ listeners over singleton-transmitter slots
+  double anyput_credit = 0.0;    // singleton slots with >= 1 listener
+  std::uint64_t packets = 0;     // singleton-transmitter slots
+  std::vector<std::uint64_t> listen_slots;    // per node
+  std::vector<std::uint64_t> transmit_slots;  // per node
+};
+
 /// Monte-Carlo slotted simulation of the protocol (cross-check of the closed
-/// form). Returns measured throughput over `slots` slots.
+/// form). One uniform draw per node per slot, in node order.
+BirthdaySimDetail simulate_birthday_detailed(std::size_t n, double p_transmit,
+                                             double p_listen,
+                                             std::uint64_t slots,
+                                             std::uint64_t seed);
+
+/// Deprecated shim over simulate_birthday_detailed (same RNG stream, bit-
+/// identical to the seed version). Returns measured throughput over `slots`
+/// slots. Prefer the "birthday" entry of protocol::ProtocolRegistry.
 double simulate_birthday(std::size_t n, double p_transmit, double p_listen,
                          model::Mode mode, std::uint64_t slots,
                          std::uint64_t seed);

@@ -119,10 +119,9 @@ struct Ev {
 
 }  // namespace
 
-PandaSimResult simulate_panda(std::size_t n, double wake_rate,
-                              double listen_window, double listen_power,
-                              double transmit_power, double duration,
-                              std::uint64_t seed) {
+PandaSimDetail simulate_panda_detailed(std::size_t n, double wake_rate,
+                                       double listen_window, double duration,
+                                       std::uint64_t seed) {
   if (n < 2 || wake_rate <= 0.0 || listen_window <= 0.0)
     throw std::invalid_argument("panda sim: bad parameters");
   util::Rng rng(seed);
@@ -142,7 +141,8 @@ PandaSimResult simulate_panda(std::size_t n, double wake_rate,
   for (std::size_t i = 0; i < n; ++i)
     push(rng.exponential(wake_rate), PandaEvent::kWake, i, stamp[i]);
 
-  PandaSimResult result;
+  PandaSimDetail result;
+  result.duration = duration;
   double now = 0.0;
   auto set_state = [&](std::size_t i, S next) {
     const double dt = now - state_since[i];
@@ -182,16 +182,19 @@ PandaSimResult simulate_panda(std::size_t n, double wake_rate,
         break;
       case PandaEvent::kPacketEnd: {
         transmitter = -1;
+        bool delivered = false;
         for (std::size_t j = 0; j < n; ++j) {
           if (locked[j]) {
             locked[j] = 0;
             ++result.receptions;
+            delivered = true;
             set_state(j, S::kSleep);
             ++stamp[j];
             push(now + rng.exponential(wake_rate), PandaEvent::kWake, j,
                  stamp[j]);
           }
         }
+        if (delivered) ++result.packets_received_any;
         set_state(i, S::kSleep);
         ++stamp[i];
         push(now + rng.exponential(wake_rate), PandaEvent::kWake, i, stamp[i]);
@@ -200,12 +203,27 @@ PandaSimResult simulate_panda(std::size_t n, double wake_rate,
     }
   }
   now = duration;
+  for (std::size_t i = 0; i < n; ++i) set_state(i, state[i]);  // close interval
+  result.listen_time = std::move(listen_time);
+  result.transmit_time = std::move(transmit_time);
+  return result;
+}
+
+PandaSimResult simulate_panda(std::size_t n, double wake_rate,
+                              double listen_window, double listen_power,
+                              double transmit_power, double duration,
+                              std::uint64_t seed) {
+  const PandaSimDetail d =
+      simulate_panda_detailed(n, wake_rate, listen_window, duration, seed);
+  PandaSimResult result;
+  result.packets = d.packets;
+  result.receptions = d.receptions;
   double energy = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    set_state(i, state[i]);  // close open interval
-    energy += listen_time[i] * listen_power + transmit_time[i] * transmit_power;
+    energy +=
+        d.listen_time[i] * listen_power + d.transmit_time[i] * transmit_power;
   }
-  result.groupput = static_cast<double>(result.receptions) / duration;
+  result.groupput = static_cast<double>(d.receptions) / duration;
   result.avg_power = energy / (static_cast<double>(n) * duration);
   return result;
 }

@@ -21,6 +21,7 @@
 #define ECONCAST_BASELINES_PANDA_H
 
 #include <cstdint>
+#include <vector>
 
 namespace econcast::baselines {
 
@@ -40,6 +41,24 @@ double panda_power(std::size_t n, double wake_rate, double listen_window,
 PandaDesign optimize_panda(std::size_t n, double budget, double listen_power,
                            double transmit_power);
 
+/// Full per-node accounting of one event-driven Panda run — the payload the
+/// protocol::Protocol adapter maps onto the unified SimResult.
+struct PandaSimDetail {
+  double duration = 0.0;
+  std::uint64_t packets = 0;      // transmissions
+  std::uint64_t receptions = 0;   // (packet, receiver) deliveries
+  std::uint64_t packets_received_any = 0;  // packets with >= 1 receiver
+  std::vector<double> listen_time;    // per node
+  std::vector<double> transmit_time;  // per node
+};
+
+/// Event-driven simulation of the protocol at fixed (λ, w). Deterministic
+/// per seed (project Rng); powers are not needed during the run — energy is
+/// an after-the-fact integral of the per-node state times.
+PandaSimDetail simulate_panda_detailed(std::size_t n, double wake_rate,
+                                       double listen_window, double duration,
+                                       std::uint64_t seed);
+
 struct PandaSimResult {
   double groupput = 0.0;
   double avg_power = 0.0;       // mean over nodes
@@ -47,7 +66,9 @@ struct PandaSimResult {
   std::uint64_t receptions = 0;
 };
 
-/// Event-driven simulation of the protocol at fixed (λ, w).
+/// Deprecated shim over simulate_panda_detailed (same RNG stream, so results
+/// are bit-identical to the seed version). Prefer the "panda" entry of
+/// protocol::ProtocolRegistry for new code.
 PandaSimResult simulate_panda(std::size_t n, double wake_rate,
                               double listen_window, double listen_power,
                               double transmit_power, double duration,

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "util/random.h"
@@ -73,25 +74,62 @@ void ScenarioRunner::for_each(std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+Scenario econcast_scenario(std::string name, model::NodeSet nodes,
+                           model::Topology topology, proto::SimConfig config) {
+  return Scenario{std::move(name), std::move(nodes), std::move(topology),
+                  protocol::econcast_spec(std::move(config))};
+}
+
 BatchResult ScenarioRunner::run(const std::vector<Scenario>& batch) const {
+  // Validate the whole batch up front so a misconfigured scenario fails with
+  // a deterministic, index-attributed error before any work is spawned:
+  // topology/node-count mismatches, and protocol resolution (unknown name or
+  // wrong parameter type). The resolved protocols are reused by the workers.
+  const protocol::ProtocolRegistry& registry =
+      protocol::ProtocolRegistry::global();
+  std::vector<std::shared_ptr<const protocol::Protocol>> protocols(
+      batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Scenario& s = batch[i];
+    if (s.nodes.size() != s.topology.size())
+      throw std::invalid_argument(
+          "scenario '" + s.name + "' (index " + std::to_string(i) + "): " +
+          std::to_string(s.nodes.size()) + " nodes but topology of size " +
+          std::to_string(s.topology.size()));
+    try {
+      protocols[i] = registry.create(s.protocol);
+    } catch (const std::exception& e) {
+      throw std::invalid_argument("scenario '" + s.name + "' (index " +
+                                  std::to_string(i) + "): " + e.what());
+    }
+  }
+
   BatchResult out;
   out.results.resize(batch.size());
 
   for_each(batch.size(), [&](std::size_t i) {
     const Scenario& s = batch[i];
-    proto::SimConfig config = s.config;
-    if (options_.reseed) config.seed = derive_seed(options_.base_seed, i);
-    proto::Simulation sim(s.nodes, s.topology, config);
-    out.results[i] = sim.run();
+    const std::uint64_t seed = options_.reseed
+                                   ? derive_seed(options_.base_seed, i)
+                                   : protocol::effective_seed(s.protocol);
+    try {
+      out.results[i] = protocols[i]->make_sim(s.nodes, s.topology, seed)->run();
+    } catch (const std::invalid_argument& e) {
+      // Protocol network-requirement failures (e.g. Panda on a non-clique)
+      // surface only at make_sim time; attribute them to the scenario so a
+      // bad cell in a large expanded sweep is locatable.
+      throw std::invalid_argument("scenario '" + s.name + "' (index " +
+                                  std::to_string(i) + "): " + e.what());
+    }
   });
 
   out.summary = summarize(out.results);
   return out;
 }
 
-BatchSummary summarize(const std::vector<proto::SimResult>& results) {
+BatchSummary summarize(const std::vector<protocol::SimResult>& results) {
   BatchSummary summary;
-  for (const proto::SimResult& r : results) {
+  for (const protocol::SimResult& r : results) {
     summary.groupput.add(r.groupput);
     summary.anyput.add(r.anyput);
     // A run that completed no bursts has no burst-length sample — adding its

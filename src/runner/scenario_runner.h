@@ -2,15 +2,20 @@
 //
 // The paper's evaluation (and the related throughput-optimal-broadcast
 // literature) is built on sweeps: hundreds of sampled networks per
-// heterogeneity point, several (N, σ, mode) cells per figure. ScenarioRunner
+// heterogeneity point, several (N, σ, mode) cells per figure, and every
+// figure overlays several protocols under identical settings. ScenarioRunner
 // makes that batch workload first-class: it executes a vector of
-// (NodeSet, Topology, SimConfig) scenarios across a std::thread pool and
-// aggregates the per-scenario SimResults into summary statistics.
+// (NodeSet, Topology, ProtocolSpec) scenarios across a std::thread pool —
+// the protocols are resolved through protocol::ProtocolRegistry, so one
+// batch can mix EconCast, Panda, Birthday, analytic bounds and custom
+// protocols — and aggregates the per-scenario SimResults into summary
+// statistics.
 //
 // Determinism contract: each scenario i runs with
 //   seed = derive_seed(base_seed, i)
-// (unless reseeding is disabled, in which case the scenario's own
-// config.seed is used), every worker writes only to its own result slot,
+// (unless reseeding is disabled, in which case the scenario's own seed —
+// protocol::effective_seed(scenario.protocol) — is used), every worker
+// writes only to its own result slot,
 // and aggregation happens in index order after the pool drains. The
 // aggregate output is therefore bit-identical for any thread count,
 // including 1 — covered by tests/test_runner.cpp.
@@ -26,6 +31,7 @@
 #include "econcast/simulation.h"
 #include "model/network.h"
 #include "model/node_params.h"
+#include "protocol/protocol.h"
 #include "util/stats.h"
 
 namespace econcast::runner {
@@ -35,14 +41,22 @@ namespace econcast::runner {
 /// only on (base_seed, index) — never on which thread picks the scenario up.
 std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) noexcept;
 
-/// One unit of work: a network and the simulation configuration to run on it.
+/// One unit of work: a network and the protocol to run on it. There is no
+/// default topology — a Scenario cannot be constructed without one, and
+/// ScenarioRunner::run rejects a topology whose size differs from the node
+/// count (the old clique(1) placeholder default made both mistakes silent).
 struct Scenario {
   /// Free-form label for the caller's own reporting; the runner ignores it.
   std::string name;
   model::NodeSet nodes;
-  model::Topology topology = model::Topology::clique(1);  // placeholder: set me
-  proto::SimConfig config;
+  model::Topology topology;
+  protocol::ProtocolSpec protocol;
 };
+
+/// Convenience constructor for the most common scenario: the EconCast
+/// discrete-event simulation with an explicit config.
+Scenario econcast_scenario(std::string name, model::NodeSet nodes,
+                           model::Topology topology, proto::SimConfig config);
 
 struct RunnerOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
@@ -51,8 +65,9 @@ struct RunnerOptions {
   /// Batch-level seed from which per-scenario seeds are derived.
   std::uint64_t base_seed = 1;
 
-  /// When false, each scenario runs with its own config.seed untouched
-  /// (useful to reproduce a specific previously-logged run).
+  /// When false, each scenario runs with its own seed untouched — see
+  /// protocol::effective_seed (EconCast uses config.seed, others the
+  /// spec-level seed). Useful to reproduce a previously-logged run.
   bool reseed = true;
 };
 
@@ -67,7 +82,7 @@ struct BatchSummary {
 
 struct BatchResult {
   /// Index-aligned with the submitted batch.
-  std::vector<proto::SimResult> results;
+  std::vector<protocol::SimResult> results;
   BatchSummary summary;
 };
 
@@ -76,15 +91,17 @@ class ScenarioRunner {
   explicit ScenarioRunner(RunnerOptions options = {});
 
   /// Runs every scenario of the batch (possibly in parallel) and aggregates.
-  /// The first exception thrown by any scenario is rethrown here after all
-  /// workers have stopped.
+  /// Throws std::invalid_argument before starting any work when a scenario's
+  /// topology size does not match its node count or its protocol name is not
+  /// registered. The first exception thrown by any scenario is rethrown here
+  /// after all workers have stopped.
   BatchResult run(const std::vector<Scenario>& batch) const;
 
   /// Low-level parallel for: invokes fn(i) for every i in [0, n) across the
   /// pool. fn must confine its writes to per-index state. The first
   /// exception thrown by any invocation is rethrown after the pool drains;
   /// remaining indices are abandoned. Exposed for sweeps whose unit of work
-  /// is not a Simulation (e.g. the Fig. 2 oracle-ratio cells).
+  /// is not a protocol Sim (e.g. the Fig. 2 oracle-ratio cells).
   void for_each(std::size_t n,
                 const std::function<void(std::size_t)>& fn) const;
 
@@ -97,7 +114,7 @@ class ScenarioRunner {
 /// Aggregates results in index order (deterministic regardless of the thread
 /// count that produced them). Exposed for callers that post-process results
 /// before summarizing.
-BatchSummary summarize(const std::vector<proto::SimResult>& results);
+BatchSummary summarize(const std::vector<protocol::SimResult>& results);
 
 }  // namespace econcast::runner
 

@@ -1,0 +1,156 @@
+#include "runner/sweep_spec.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace econcast::runner {
+
+namespace {
+
+/// Shortest exact-enough rendering for axis values in scenario names (%g
+/// gives "0.5", "10", "1.5e+06" — stable across platforms for these scales).
+std::string format_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+template <typename T>
+void require_nonempty(const std::vector<T>& axis, const char* what) {
+  if (axis.empty())
+    throw std::invalid_argument(std::string("sweep axis '") + what +
+                                "' must not be empty");
+}
+
+}  // namespace
+
+std::vector<PowerPoint> power_ratio_axis(const std::vector<double>& ratios,
+                                         double budget, double total) {
+  std::vector<PowerPoint> points;
+  points.reserve(ratios.size());
+  for (const double r : ratios) {
+    if (!(r > 0.0))
+      throw std::invalid_argument("power_ratio_axis: X/L ratios must be > 0");
+    const double x = total * r / (1.0 + r);
+    points.push_back({budget, total - x, x});
+  }
+  return points;
+}
+
+SweepSpec::SweepSpec(std::string name) : name_(std::move(name)) {
+  protocols_.push_back(protocol::econcast_spec(proto::SimConfig{}));
+}
+
+SweepSpec& SweepSpec::protocols(std::vector<protocol::ProtocolSpec> specs) {
+  require_nonempty(specs, "protocols");
+  protocols_ = std::move(specs);
+  return *this;
+}
+
+SweepSpec& SweepSpec::modes(std::vector<model::Mode> modes) {
+  require_nonempty(modes, "modes");
+  modes_ = std::move(modes);
+  return *this;
+}
+
+SweepSpec& SweepSpec::node_counts(std::vector<std::size_t> counts) {
+  require_nonempty(counts, "node_counts");
+  node_counts_ = std::move(counts);
+  return *this;
+}
+
+SweepSpec& SweepSpec::powers(std::vector<PowerPoint> points) {
+  require_nonempty(points, "powers");
+  powers_ = std::move(points);
+  return *this;
+}
+
+SweepSpec& SweepSpec::sigmas(std::vector<double> sigmas) {
+  require_nonempty(sigmas, "sigmas");
+  sigmas_ = std::move(sigmas);
+  return *this;
+}
+
+SweepSpec& SweepSpec::replicates(std::size_t count) {
+  if (count == 0)
+    throw std::invalid_argument("sweep replicates must be >= 1");
+  replicates_ = count;
+  return *this;
+}
+
+SweepSpec& SweepSpec::topology(
+    std::function<model::Topology(std::size_t)> make) {
+  topology_ = std::move(make);
+  return *this;
+}
+
+SweepSpec& SweepSpec::node_set(
+    std::function<model::NodeSet(std::size_t, const PowerPoint&)> make) {
+  node_set_ = std::move(make);
+  return *this;
+}
+
+std::size_t SweepSpec::cell_count() const noexcept {
+  return protocols_.size() * modes_.size() * node_counts_.size() *
+         powers_.size() * sigmas_.size() * replicates_;
+}
+
+std::size_t SweepSpec::cell_index(std::size_t protocol_i, std::size_t mode_i,
+                                  std::size_t node_i, std::size_t power_i,
+                                  std::size_t sigma_i,
+                                  std::size_t replicate) const {
+  if (protocol_i >= protocols_.size() || mode_i >= modes_.size() ||
+      node_i >= node_counts_.size() || power_i >= powers_.size() ||
+      sigma_i >= sigmas_.size() || replicate >= replicates_)
+    throw std::out_of_range("SweepSpec::cell_index: axis index out of range");
+  return ((((protocol_i * modes_.size() + mode_i) * node_counts_.size() +
+            node_i) *
+               powers_.size() +
+           power_i) *
+              sigmas_.size() +
+          sigma_i) *
+             replicates_ +
+         replicate;
+}
+
+std::vector<Scenario> SweepSpec::expand() const {
+  std::vector<Scenario> batch;
+  batch.reserve(cell_count());
+  for (const protocol::ProtocolSpec& spec : protocols_) {
+    for (const model::Mode mode : modes_) {
+      for (const std::size_t n : node_counts_) {
+        for (const PowerPoint& power : powers_) {
+          const model::NodeSet nodes =
+              node_set_ ? node_set_(n, power)
+                        : model::homogeneous(n, power.budget,
+                                             power.listen_power,
+                                             power.transmit_power);
+          const model::Topology topology =
+              topology_ ? topology_(n) : model::Topology::clique(n);
+          for (const double sigma : sigmas_) {
+            const protocol::ProtocolSpec cell_spec =
+                protocol::specialized(spec, mode, sigma);
+            std::string cell_name = name_ + "/" + spec.name + "/" +
+                                    model::to_string(mode) + "/N" +
+                                    std::to_string(n) + "/rho" +
+                                    format_value(power.budget) + "_L" +
+                                    format_value(power.listen_power) + "_X" +
+                                    format_value(power.transmit_power) +
+                                    "/s" + format_value(sigma);
+            for (std::size_t rep = 0; rep < replicates_; ++rep) {
+              std::string scenario_name = cell_name;
+              if (replicates_ > 1)
+                scenario_name += "/r" + std::to_string(rep);
+              batch.push_back(Scenario{std::move(scenario_name), nodes,
+                                       topology, cell_spec});
+            }
+          }
+        }
+      }
+    }
+  }
+  return batch;
+}
+
+}  // namespace econcast::runner

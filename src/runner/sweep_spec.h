@@ -1,0 +1,95 @@
+// Declarative sweep descriptions for ScenarioRunner.
+//
+// The paper's figures are cross-products: (N, σ, X/L, mode) cells, each
+// evaluated for several protocols. SweepSpec captures that shape directly —
+// set the axes, call expand(), and get a deterministically ordered,
+// deterministically named scenario batch that one ScenarioRunner::run call
+// executes across all cores under the derive_seed contract. Because each
+// cell carries a protocol::ProtocolSpec, one sweep can mix EconCast, the
+// analytic baselines and custom protocols in a single batch.
+//
+// Expansion order (fixed, documented, and relied on by cell_index):
+//   protocol (outermost) → mode → node count → power point → σ → replicate.
+// Axes left unset contribute their single default value, so the expansion —
+// and therefore every scenario's derived seed — depends only on the spec.
+#ifndef ECONCAST_RUNNER_SWEEP_SPEC_H
+#define ECONCAST_RUNNER_SWEEP_SPEC_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/network.h"
+#include "model/state_space.h"
+#include "protocol/protocol.h"
+#include "runner/scenario_runner.h"
+
+namespace econcast::runner {
+
+/// One (ρ, L, X) power setting; the default is the paper's §VII operating
+/// point (ρ = 10 µW, L = X = 500 µW).
+struct PowerPoint {
+  double budget = 10.0;
+  double listen_power = 500.0;
+  double transmit_power = 500.0;
+};
+
+/// The paper's Fig. 3 x-axis: X/L ratios at constant L + X. Returns power
+/// points with listen + transmit = `total` and the given X/L ratios.
+std::vector<PowerPoint> power_ratio_axis(const std::vector<double>& ratios,
+                                         double budget, double total);
+
+class SweepSpec {
+ public:
+  explicit SweepSpec(std::string name);
+
+  // Axis setters (builder style). Each replaces the axis wholesale; empty
+  // vectors are rejected (an axis always has at least one value).
+  SweepSpec& protocols(std::vector<protocol::ProtocolSpec> specs);
+  SweepSpec& modes(std::vector<model::Mode> modes);
+  SweepSpec& node_counts(std::vector<std::size_t> counts);
+  SweepSpec& powers(std::vector<PowerPoint> points);
+  SweepSpec& sigmas(std::vector<double> sigmas);
+  SweepSpec& replicates(std::size_t count);
+
+  /// Topology as a function of the node count (default: clique).
+  SweepSpec& topology(std::function<model::Topology(std::size_t)> make);
+
+  /// Node sets as a function of (node count, power point); the default is
+  /// model::homogeneous. Lets sweeps use heterogeneous populations while
+  /// keeping the N and power axes meaningful.
+  SweepSpec& node_set(
+      std::function<model::NodeSet(std::size_t, const PowerPoint&)> make);
+
+  std::size_t cell_count() const noexcept;
+
+  /// Flat batch index of a cell, mirroring the expansion order. Arguments
+  /// index into the respective axes; out-of-range indices throw.
+  std::size_t cell_index(std::size_t protocol_i, std::size_t mode_i = 0,
+                         std::size_t node_i = 0, std::size_t power_i = 0,
+                         std::size_t sigma_i = 0,
+                         std::size_t replicate = 0) const;
+
+  /// Expands the cross-product into scenarios. Mode and σ axes are applied
+  /// to each protocol's parameters via protocol::specialized (protocols
+  /// without those knobs, e.g. Panda, run identically across those axes).
+  /// Scenario names encode every axis value:
+  ///   <sweep>/<protocol>/<mode>/N<n>/rho<ρ>_L<L>_X<X>/s<σ>[/r<k>]
+  std::vector<Scenario> expand() const;
+
+ private:
+  std::string name_;
+  std::vector<protocol::ProtocolSpec> protocols_;
+  std::vector<model::Mode> modes_{model::Mode::kGroupput};
+  std::vector<std::size_t> node_counts_{5};
+  std::vector<PowerPoint> powers_{PowerPoint{}};
+  std::vector<double> sigmas_{0.5};
+  std::size_t replicates_ = 1;
+  std::function<model::Topology(std::size_t)> topology_;
+  std::function<model::NodeSet(std::size_t, const PowerPoint&)> node_set_;
+};
+
+}  // namespace econcast::runner
+
+#endif  // ECONCAST_RUNNER_SWEEP_SPEC_H

@@ -4,10 +4,12 @@
 // panel: Panda, Birthday, and the Searchlight upper bound.
 //
 // The whole figure is two declarative sweeps over the protocol registry —
-// each cell (power point × protocol × σ) is one scenario, and one
-// ScenarioRunner batch evaluates every protocol under identical settings
-// across all cores. The analytic protocols are deterministic, so the table
-// matches the old direct-call implementation value for value.
+// each cell (power point × protocol × σ) is one scenario. The sweeps are
+// emitted as JSON manifests (fig3a/fig3b) and executed through
+// runner::SweepSession, so the figure is re-runnable (and resumable) as data
+// via `econcast_sweep <manifest>`. The analytic protocols are
+// deterministic, so the table matches the old direct-call implementation
+// value for value.
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -18,7 +20,7 @@
 #include "runner/sweep_spec.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace econcast;
   bench::banner("Figure 3", "T^sigma/T* vs X/L, with prior art (N=5, rho=10uW)");
 
@@ -28,7 +30,7 @@ int main() {
                                    3.0 / 2, 7.0 / 3, 4.0,     9.0};
   const std::vector<double> sigmas{0.1, 0.25, 0.5};
   const auto powers = runner::power_ratio_axis(ratios, kBudget, kTotal);
-  const runner::ScenarioRunner pool;
+  const std::string dir = bench::manifest_dir(argc, argv, "econcast-fig3");
 
   // Panel (a): groupput, including baselines. Protocol axis order:
   // 0 = EconCast achievable (σ from the sigma axis), 1..3 = baselines
@@ -42,7 +44,8 @@ int main() {
           .modes({model::Mode::kGroupput})
           .powers(powers)
           .sigmas(sigmas);
-  const runner::BatchResult panel_a = pool.run(sweep_a.expand());
+  const runner::BatchResult panel_a =
+      bench::run_manifest_sweep(dir, "fig3a", sweep_a, /*base_seed=*/1);
 
   {
     util::Table t({"X/L", "s=0.1", "s=0.25", "s=0.5", "Panda", "Birthday",
@@ -74,7 +77,8 @@ int main() {
           .modes({model::Mode::kAnyput})
           .powers(powers)
           .sigmas(sigmas);
-  const runner::BatchResult panel_b = pool.run(sweep_b.expand());
+  const runner::BatchResult panel_b =
+      bench::run_manifest_sweep(dir, "fig3b", sweep_b, /*base_seed=*/1);
 
   {
     util::Table t({"X/L", "s=0.1", "s=0.25", "s=0.5"});

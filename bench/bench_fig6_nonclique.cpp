@@ -2,13 +2,21 @@
 // (upper/lower LP bounds of §IV-C, which coincide for these grids) and the
 // simulated EconCast groupput for σ ∈ {0.25, 0.5, 0.75}, N ∈ {4,...,100}.
 // Collided (hidden-terminal) receptions are voided, as in the paper.
+//
+// The 27 simulation cells run as one ScenarioRunner batch across all cores
+// (this was the last bench hand-rolling its own loop). Each cell keeps the
+// exact per-N config and seed (66 + N) of the old serial loop — reseeding is
+// disabled so the embedded seeds are authoritative — which keeps the table
+// bit-identical to the pre-runner output.
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "econcast/simulation.h"
 #include "oracle/nonclique_oracle.h"
+#include "runner/scenario_runner.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -16,9 +24,37 @@ int main(int argc, char** argv) {
   const long scale = bench::knob(argc, argv, 2);  // duration = scale * 1e6
   bench::banner("Figure 6", "grid topologies: oracle T*_nc and simulated T~ (rho=10uW)");
 
+  const std::vector<std::size_t> ks{2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::vector<double> sigmas{0.25, 0.5, 0.75};
+
+  std::vector<runner::Scenario> batch;
+  batch.reserve(ks.size() * sigmas.size());
+  for (const std::size_t k : ks) {
+    const std::size_t n = k * k;
+    for (const double sigma : sigmas) {
+      proto::SimConfig cfg;
+      cfg.sigma = sigma;
+      cfg.duration = 1e6 * static_cast<double>(scale);
+      cfg.warmup = cfg.duration * 0.4;
+      cfg.seed = 66 + n;
+      cfg.energy_guard = true;  // adaptive start from eta = 0
+      cfg.initial_energy = 5e5;
+      batch.push_back(runner::econcast_scenario(
+          "fig6/N" + std::to_string(n) + "/s" + std::to_string(sigma),
+          model::homogeneous(n, 10.0, 500.0, 500.0),
+          model::Topology::grid(k, k), cfg));
+    }
+  }
+
+  runner::RunnerOptions options(/*threads=*/0, /*base_seed=*/1,
+                                /*reseed=*/false);
+  options.on_scenario_done = bench::progress_printer("fig6", 1);
+  const runner::BatchResult run = runner::ScenarioRunner(options).run(batch);
+
   util::Table t({"N", "T*_nc", "bounds tight", "sim s=0.25", "sim s=0.5",
                  "sim s=0.75", "ratio s=0.25"});
-  for (const std::size_t k : {2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u}) {
+  for (std::size_t k_i = 0; k_i < ks.size(); ++k_i) {
+    const std::size_t k = ks[k_i];
     const std::size_t n = k * k;
     const auto nodes = model::homogeneous(n, 10.0, 500.0, 500.0);
     const auto topo = model::Topology::grid(k, k);
@@ -27,21 +63,11 @@ int main(int argc, char** argv) {
     t.add_cell(static_cast<std::int64_t>(n));
     t.add_cell(bounds.lower.throughput, 4);
     t.add_cell(bounds.tight(1e-6) ? "yes" : "no");
-    double sim_025 = 0.0;
-    for (const double sigma : {0.25, 0.5, 0.75}) {
-      proto::SimConfig cfg;
-      cfg.sigma = sigma;
-      cfg.duration = 1e6 * static_cast<double>(scale);
-      cfg.warmup = cfg.duration * 0.4;
-      cfg.seed = 66 + n;
-      cfg.energy_guard = true;  // adaptive start from eta = 0
-      cfg.initial_energy = 5e5;
-      proto::Simulation sim(nodes, topo, cfg);
-      const auto r = sim.run();
-      t.add_cell(r.groupput, 4);
-      if (sigma == 0.25) sim_025 = r.groupput;
-    }
-    t.add_cell(sim_025 / bounds.lower.throughput, 3);
+    for (std::size_t s_i = 0; s_i < sigmas.size(); ++s_i)
+      t.add_cell(run.results[k_i * sigmas.size() + s_i].groupput, 4);
+    t.add_cell(run.results[k_i * sigmas.size()].groupput /
+                   bounds.lower.throughput,
+               3);
   }
   t.print(std::cout, "Fig. 6 — grids");
   std::printf(

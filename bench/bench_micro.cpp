@@ -1,7 +1,9 @@
 // Micro-benchmarks (google-benchmark) for the library's hot paths: Gibbs
 // evaluation over W, the symmetric collapse, the dual solvers, the LP
-// oracle, and the event-driven simulator.
+// oracle, the event-queue substrate, and the event-driven simulator.
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "econcast/simulation.h"
 #include "gibbs/exact.h"
@@ -9,6 +11,8 @@
 #include "gibbs/symmetric.h"
 #include "model/state_space.h"
 #include "oracle/clique_oracle.h"
+#include "sim/event_queue.h"
+#include "util/random.h"
 
 namespace {
 
@@ -79,6 +83,48 @@ void BM_OracleGroupputLP(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OracleGroupputLP)->Arg(5)->Arg(25)->Arg(100);
+
+// The event-queue push/pop cycle that dominates the simulator's inner loop.
+// Arg 0 is the number of live events (≈ 3-4 per node, so 256 ≈ the N = 64
+// regime); arg 1 toggles the up-front reserve so the reallocation churn the
+// reserve eliminates is measurable: each iteration fills the queue from
+// empty — the simulator's ramp-up — then runs a steady-state pop+push window
+// before draining.
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto live = static_cast<std::size_t>(state.range(0));
+  const bool reserve = state.range(1) != 0;
+  util::Rng rng(2024);
+  std::vector<double> times(4 * live);
+  for (double& t : times) t = rng.uniform();
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    if (reserve) q.reserve(live);
+    std::size_t t = 0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < live; ++i)
+      q.push(times[t++ % times.size()], sim::EventKind::kTransition,
+             static_cast<std::uint32_t>(i));
+    for (std::size_t i = 0; i < 2 * live; ++i) {
+      const sim::Event e = q.pop();
+      acc += e.time;
+      q.push(e.time + times[t++ % times.size()], sim::EventKind::kTransition,
+             e.node);
+    }
+    while (!q.empty()) acc += q.pop().time;
+    ops += 2 * (live + 2 * live);  // pushes + pops
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.SetLabel(reserve ? "reserved" : "unreserved");
+}
+BENCHMARK(BM_EventQueuePushPop)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1});
 
 void BM_SimulatorEvents(benchmark::State& state) {
   const auto nodes = model::homogeneous(5, 10.0, 500.0, 500.0);

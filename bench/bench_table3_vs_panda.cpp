@@ -4,8 +4,10 @@
 //
 // One SweepSpec crosses (N, ρ) with the three protocols — the firmware
 // emulation ("econcast-testbed"), the achievable bound ("econcast-p4") and
-// the analytical Panda optimum ("panda") — so the four multi-hour testbed
-// cells run in parallel through ScenarioRunner instead of back to back.
+// the analytical Panda optimum ("panda"). The sweep is emitted as a JSON
+// manifest and executed through runner::SweepSession, so the multi-hour
+// testbed cells run in parallel, checkpoint per cell, and can be resumed
+// standalone via `econcast_sweep table3.manifest.json`.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -43,8 +45,9 @@ int main(int argc, char** argv) {
           .node_counts(node_counts)
           .powers(powers)
           .sigmas({0.25});
-  const runner::ScenarioRunner pool({/*num_threads=*/0, /*base_seed=*/300});
-  const runner::BatchResult run = pool.run(sweep.expand());
+  const std::string dir = bench::manifest_dir(argc, argv, "econcast-table3");
+  const runner::BatchResult run =
+      bench::run_manifest_sweep(dir, "table3", sweep, /*base_seed=*/300);
 
   util::Table t({"(N, rho mW)", "T~/T^s %", "Panda/T^s %", "T~/Panda"});
   for (std::size_t n_i = 0; n_i < node_counts.size(); ++n_i) {

@@ -44,6 +44,11 @@ Simulation::Simulation(model::NodeSet nodes, model::Topology topology,
     throw std::invalid_argument(
         "state occupancy tracking requires a clique with N <= 16");
 
+  // Live events are bounded by a few per node (pending transition, interval
+  // end, the packet on the air, energy-guard wakeups, the warmup snapshot);
+  // reserving up front avoids the heap-reallocation churn that otherwise
+  // recurs during every run's ramp-up in the N >= 64 regime.
+  queue_.reserve(4 * nodes_.size() + 8);
   rates_.reserve(nodes_.size());
   nodes_rt_.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {

@@ -1,0 +1,282 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace econcast::exec {
+
+namespace {
+// Depth of Executor::work_on frames on this thread — covers pool workers AND
+// the submitting thread while it participates in a batch, so nested
+// parallel_for calls from either are detected and run inline.
+thread_local int t_work_depth = 0;
+
+struct WorkDepthScope {
+  WorkDepthScope() noexcept { ++t_work_depth; }
+  ~WorkDepthScope() noexcept { --t_work_depth; }
+};
+}  // namespace
+
+bool on_executor_thread() noexcept { return t_work_depth > 0; }
+
+Executor::Executor(std::size_t num_threads) {
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw > 0 ? hw : 1;
+  }
+  workers_.reserve(num_threads);
+  try {
+    for (std::size_t t = 0; t < num_threads; ++t)
+      workers_.emplace_back([this] { worker_main(); });
+  } catch (...) {
+    // Partial construction: stop and join what exists before rethrowing, or
+    // the thread destructors call std::terminate.
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      stop_ = true;
+    }
+    pool_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    throw;
+  }
+}
+
+Executor::~Executor() {
+  // Taking submit_mu_ first guarantees no batch is in flight (parallel_for
+  // holds it for the whole batch), so workers are all parked on pool_cv_.
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    stop_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+Executor& Executor::shared() {
+  // Intentionally leaked: worker threads must not be joined from a static
+  // destructor racing other exit-time teardown.
+  static Executor* const instance = new Executor();
+  return *instance;
+}
+
+void Executor::worker_main() {
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  for (;;) {
+    pool_cv_.wait(lock, [&] { return stop_ || current_batch_ != nullptr; });
+    if (stop_) return;
+    Batch* batch = current_batch_;
+    const std::uint64_t gen = batch_gen_;
+
+    // Claim a participant slot and bump `inside` while still under pool_mu_.
+    // The submitter retires the batch under the same mutex and only then
+    // waits for `inside` to drain, so either we are counted before the
+    // retire or we observe current_batch_ == nullptr — never a join after
+    // the submitter stopped waiting.
+    std::size_t slot = 0;
+    bool joined = false;
+    {
+      std::lock_guard<std::mutex> slots(batch->slot_mu);
+      if (batch->next_slot < batch->deques.size()) {
+        slot = batch->next_slot++;
+        joined = true;
+      }
+    }
+    if (joined) {
+      {
+        std::lock_guard<std::mutex> state(batch->state_mu);
+        ++batch->inside;
+      }
+      lock.unlock();
+      work_on(*batch, slot);
+      lock.lock();
+    }
+    // Sleep until this batch is retired so a full or drained batch is not
+    // re-examined in a hot loop.
+    pool_cv_.wait(lock, [&] { return stop_ || batch_gen_ != gen; });
+    if (stop_) return;
+  }
+}
+
+void Executor::run_serial(std::size_t n, const TaskFn& fn,
+                          const ProgressFn& progress) {
+  // The serial path may hold submit_mu_; mark task context so a task that
+  // nests parallel_for is inlined here too instead of deadlocking on it.
+  const WorkDepthScope in_task_context;
+  for (std::size_t i = 0; i < n; ++i) {
+    fn(i);
+    if (progress) progress(TaskProgress{i, i + 1, n});
+  }
+}
+
+void Executor::parallel_for(std::size_t n, const TaskFn& fn,
+                            std::size_t max_parallelism,
+                            const ProgressFn& progress) {
+  if (n == 0) return;
+  if (on_executor_thread()) {
+    // Nested call from inside one of our tasks: blocking on submit_mu_ from
+    // a worker would deadlock (the outer batch holds it), so run inline.
+    run_serial(n, fn, progress);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  std::size_t participants = workers_.size() + 1;  // workers + this thread
+  if (max_parallelism > 0)
+    participants = std::min(participants, max_parallelism);
+  participants = std::min(participants, n);
+  if (participants <= 1) {
+    run_serial(n, fn, progress);
+    return;
+  }
+
+  Batch batch;
+  batch.n = n;
+  batch.fn = &fn;
+  batch.progress = progress ? &progress : nullptr;
+  batch.deques = std::vector<WorkDeque>(participants);
+  // Seed each participant with a contiguous chunk; stealing rebalances.
+  const std::size_t base = n / participants;
+  const std::size_t extra = n % participants;
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < participants; ++p) {
+    const std::size_t len = base + (p < extra ? 1 : 0);
+    batch.deques[p].ranges.push_back(Range{begin, begin + len});
+    begin += len;
+  }
+  batch.inside = 1;  // the submitting thread, slot 0
+
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    current_batch_ = &batch;
+    ++batch_gen_;
+  }
+  pool_cv_.notify_all();
+
+  work_on(batch, 0);
+
+  // Retire the batch BEFORE waiting for it to drain: workers join (and bump
+  // `inside`) only while holding pool_mu_ with current_batch_ still set, so
+  // after this block every participant is accounted for in `inside` and no
+  // late joiner can touch the stack-allocated Batch.
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    current_batch_ = nullptr;
+    ++batch_gen_;
+  }
+  pool_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> state(batch.state_mu);
+    batch.state_cv.wait(
+        state, [&] { return batch.settled == batch.n && batch.inside == 0; });
+  }
+
+  if (batch.first_error) std::rethrow_exception(batch.first_error);
+}
+
+bool Executor::pop_own(Batch& b, std::size_t slot, std::size_t& index) {
+  WorkDeque& d = b.deques[slot];
+  std::lock_guard<std::mutex> lock(d.mu);
+  if (d.ranges.empty()) return false;
+  Range& r = d.ranges.back();
+  index = r.begin++;
+  if (r.begin == r.end) d.ranges.pop_back();
+  return true;
+}
+
+bool Executor::steal_into(Batch& b, std::size_t slot) {
+  // Scan the other deques starting just past our own so contention spreads;
+  // take the front range of the first victim with work, leaving the victim
+  // the back half when the range can split.
+  const std::size_t p = b.deques.size();
+  for (std::size_t k = 1; k < p; ++k) {
+    WorkDeque& victim = b.deques[(slot + k) % p];
+    Range stolen;
+    {
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (victim.ranges.empty()) continue;
+      Range& r = victim.ranges.front();
+      const std::size_t len = r.end - r.begin;
+      if (len > 1) {
+        const std::size_t mid = r.begin + len / 2;
+        stolen = Range{r.begin, mid};
+        r.begin = mid;
+      } else {
+        stolen = r;
+        victim.ranges.pop_front();
+      }
+    }
+    std::lock_guard<std::mutex> lock(b.deques[slot].mu);
+    b.deques[slot].ranges.push_back(stolen);
+    return true;
+  }
+  return false;
+}
+
+void Executor::run_task(Batch& b, std::size_t index) {
+  try {
+    (*b.fn)(index);
+    if (b.progress) {
+      // Serialized: `done` advances by exactly one per callback, and the
+      // callback body (e.g. SweepSession's checkpoint writer) can touch
+      // shared state without its own lock.
+      std::lock_guard<std::mutex> lock(b.progress_mu);
+      ++b.done;
+      (*b.progress)(TaskProgress{index, b.done, b.n});
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> state(b.state_mu);
+    if (!b.failed) {
+      b.failed = true;
+      b.first_error = std::current_exception();
+    }
+  }
+  std::lock_guard<std::mutex> state(b.state_mu);
+  ++b.settled;
+  if (b.settled == b.n) b.state_cv.notify_all();
+}
+
+void Executor::abandon_remaining(Batch& b) {
+  std::size_t abandoned = 0;
+  for (WorkDeque& d : b.deques) {
+    std::lock_guard<std::mutex> lock(d.mu);
+    for (const Range& r : d.ranges) abandoned += r.end - r.begin;
+    d.ranges.clear();
+  }
+  if (abandoned == 0) return;
+  std::lock_guard<std::mutex> state(b.state_mu);
+  b.settled += abandoned;
+  if (b.settled == b.n) b.state_cv.notify_all();
+}
+
+void Executor::work_on(Batch& b, std::size_t slot) {
+  const WorkDepthScope in_task_context;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> state(b.state_mu);
+      if (b.failed) break;
+    }
+    std::size_t index;
+    if (pop_own(b, slot, index)) {
+      run_task(b, index);
+      continue;
+    }
+    if (!steal_into(b, slot)) break;  // every deque empty: only in-flight
+                                      // tasks remain, nothing to steal
+  }
+  {
+    std::lock_guard<std::mutex> state(b.state_mu);
+    if (!b.failed) {
+      --b.inside;
+      if (b.inside == 0) b.state_cv.notify_all();
+      return;
+    }
+  }
+  abandon_remaining(b);
+  std::lock_guard<std::mutex> state(b.state_mu);
+  --b.inside;
+  if (b.inside == 0) b.state_cv.notify_all();
+}
+
+}  // namespace econcast::exec

@@ -1,0 +1,235 @@
+#include "runner/manifest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "protocol/protocol_json.h"
+
+namespace econcast::runner {
+
+namespace {
+
+using util::json::Array;
+using util::json::Error;
+using util::json::Object;
+using util::json::Value;
+
+constexpr const char* kManifestFormat = "econcast-sweep-manifest";
+constexpr int kManifestVersion = 1;
+
+}  // namespace
+
+Value to_json(const PowerPoint& point) {
+  Object o;
+  o.set("budget", point.budget)
+      .set("listen_power", point.listen_power)
+      .set("transmit_power", point.transmit_power);
+  return Value(std::move(o));
+}
+
+PowerPoint power_point_from_json(const Value& value) {
+  const Object& o = value.as_object();
+  PowerPoint p;
+  if (const Value* v = o.find("budget")) p.budget = v->as_number();
+  if (const Value* v = o.find("listen_power")) p.listen_power = v->as_number();
+  if (const Value* v = o.find("transmit_power"))
+    p.transmit_power = v->as_number();
+  return p;
+}
+
+Value to_json(const SweepSpec& spec) {
+  if (spec.topology_kind().empty())
+    throw Error("sweep '" + spec.name() +
+                "' uses a custom topology function and cannot be serialized");
+  if (spec.node_set_kind().empty())
+    throw Error("sweep '" + spec.name() +
+                "' uses a custom node-set function and cannot be serialized");
+
+  Array protocols;
+  for (const protocol::ProtocolSpec& p : spec.protocol_axis())
+    protocols.push_back(protocol::to_json(p));
+  Array modes;
+  for (const model::Mode m : spec.mode_axis())
+    modes.emplace_back(protocol::mode_to_token(m));
+  Array node_counts;
+  for (const std::size_t n : spec.node_count_axis())
+    node_counts.emplace_back(static_cast<double>(n));
+  Array powers;
+  for (const PowerPoint& p : spec.power_axis()) powers.push_back(to_json(p));
+  Array sigmas;
+  for (const double s : spec.sigma_axis()) sigmas.emplace_back(s);
+
+  Object o;
+  o.set("name", spec.name())
+      .set("protocols", std::move(protocols))
+      .set("modes", std::move(modes))
+      .set("node_counts", std::move(node_counts))
+      .set("powers", std::move(powers))
+      .set("sigmas", std::move(sigmas))
+      .set("replicates", static_cast<double>(spec.replicate_count()))
+      .set("topology", spec.topology_kind())
+      .set("node_set", spec.node_set_kind());
+  return Value(std::move(o));
+}
+
+SweepSpec sweep_spec_from_json(const Value& value) {
+  const Object& o = value.as_object();
+  SweepSpec spec(o.at("name").as_string());
+  if (const Value* v = o.find("protocols")) {
+    std::vector<protocol::ProtocolSpec> protocols;
+    protocols.reserve(v->as_array().size());
+    for (const Value& p : v->as_array())
+      protocols.push_back(protocol::spec_from_json(p));
+    spec.protocols(std::move(protocols));
+  }
+  if (const Value* v = o.find("modes")) {
+    std::vector<model::Mode> modes;
+    for (const Value& m : v->as_array())
+      modes.push_back(protocol::mode_from_token(m.as_string()));
+    spec.modes(std::move(modes));
+  }
+  if (const Value* v = o.find("node_counts")) {
+    std::vector<std::size_t> counts;
+    for (const Value& n : v->as_array())
+      counts.push_back(static_cast<std::size_t>(n.as_number()));
+    spec.node_counts(std::move(counts));
+  }
+  if (const Value* v = o.find("powers")) {
+    std::vector<PowerPoint> powers;
+    for (const Value& p : v->as_array())
+      powers.push_back(power_point_from_json(p));
+    spec.powers(std::move(powers));
+  }
+  if (const Value* v = o.find("sigmas")) {
+    std::vector<double> sigmas;
+    for (const Value& s : v->as_array()) sigmas.push_back(s.as_number());
+    spec.sigmas(std::move(sigmas));
+  }
+  if (const Value* v = o.find("replicates"))
+    spec.replicates(static_cast<std::size_t>(v->as_number()));
+  if (const Value* v = o.find("topology")) spec.topology(v->as_string());
+  if (const Value* v = o.find("node_set")) {
+    if (v->as_string() != "homogeneous")
+      throw Error("unknown node_set kind '" + v->as_string() +
+                  "' (only \"homogeneous\" is serializable)");
+  }
+  return spec;
+}
+
+Value to_json(const Scenario& scenario) {
+  Array nodes;
+  nodes.reserve(scenario.nodes.size());
+  for (const model::NodeParams& n : scenario.nodes) {
+    Object node;
+    node.set("budget", n.budget)
+        .set("listen_power", n.listen_power)
+        .set("transmit_power", n.transmit_power);
+    nodes.emplace_back(std::move(node));
+  }
+
+  Array edges;
+  const model::Topology& topo = scenario.topology;
+  for (std::size_t i = 0; i < topo.size(); ++i)
+    for (const std::size_t j : topo.neighbors(i))
+      if (i < j)
+        edges.emplace_back(Array{Value(static_cast<double>(i)),
+                                 Value(static_cast<double>(j))});
+
+  Object o;
+  o.set("name", scenario.name)
+      .set("nodes", std::move(nodes))
+      .set("topology", Object{}
+                           .set("n", static_cast<double>(topo.size()))
+                           .set("edges", std::move(edges)))
+      .set("protocol", protocol::to_json(scenario.protocol));
+  return Value(std::move(o));
+}
+
+Scenario scenario_from_json(const Value& value) {
+  const Object& o = value.as_object();
+
+  model::NodeSet nodes;
+  for (const Value& n : o.at("nodes").as_array()) {
+    const Object& node = n.as_object();
+    nodes.push_back(model::NodeParams{node.at("budget").as_number(),
+                                      node.at("listen_power").as_number(),
+                                      node.at("transmit_power").as_number()});
+  }
+
+  const Object& topo = o.at("topology").as_object();
+  const auto n = static_cast<std::size_t>(topo.at("n").as_number());
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (const Value& e : topo.at("edges").as_array()) {
+    const Array& pair = e.as_array();
+    if (pair.size() != 2) throw Error("topology edge must be a [i, j] pair");
+    edges.emplace_back(static_cast<std::size_t>(pair[0].as_number()),
+                       static_cast<std::size_t>(pair[1].as_number()));
+  }
+
+  return Scenario{o.at("name").as_string(), std::move(nodes),
+                  model::Topology::from_edges(n, edges),
+                  protocol::spec_from_json(o.at("protocol"))};
+}
+
+Value to_json(const SweepManifest& manifest) {
+  Object o;
+  o.set("format", kManifestFormat)
+      .set("version", kManifestVersion)
+      .set("sweep", to_json(manifest.spec))
+      .set("runner", Object{}
+                         .set("base_seed",
+                              util::json::u64_to_string(manifest.base_seed))
+                         .set("reseed", manifest.reseed));
+  return Value(std::move(o));
+}
+
+SweepManifest manifest_from_json(const Value& value) {
+  const Object& o = value.as_object();
+  if (const Value* format = o.find("format")) {
+    if (format->as_string() != kManifestFormat)
+      throw Error("not a sweep manifest (format '" + format->as_string() +
+                  "')");
+  }
+  if (const Value* version = o.find("version")) {
+    if (version->as_number() > kManifestVersion)
+      throw Error("manifest version " +
+                  util::json::format_double(version->as_number()) +
+                  " is newer than this build understands");
+  }
+  SweepManifest manifest(sweep_spec_from_json(o.at("sweep")));
+  if (const Value* runner = o.find("runner")) {
+    const Object& r = runner->as_object();
+    if (const Value* seed = r.find("base_seed"))
+      manifest.base_seed = util::json::u64_from_string(seed->as_string());
+    if (const Value* reseed = r.find("reseed"))
+      manifest.reseed = reseed->as_bool();
+  }
+  return manifest;
+}
+
+void write_manifest(const SweepManifest& manifest, const std::string& path) {
+  const std::string text = util::json::dump(to_json(manifest), 2) + "\n";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write '" + tmp + "'");
+    out << text;
+    if (!out.flush())
+      throw std::runtime_error("write to '" + tmp + "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("cannot rename '" + tmp + "' to '" + path + "'");
+}
+
+SweepManifest load_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read manifest '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return manifest_from_json(util::json::parse(buffer.str()));
+}
+
+}  // namespace econcast::runner

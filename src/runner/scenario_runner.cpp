@@ -1,10 +1,8 @@
 #include "runner/scenario_runner.h"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "util/random.h"
 
@@ -19,7 +17,8 @@ std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) noexcept
   return util::splitmix64_next(state);
 }
 
-ScenarioRunner::ScenarioRunner(RunnerOptions options) : options_(options) {}
+ScenarioRunner::ScenarioRunner(RunnerOptions options)
+    : options_(std::move(options)) {}
 
 std::size_t ScenarioRunner::effective_threads() const noexcept {
   if (options_.num_threads > 0) return options_.num_threads;
@@ -29,49 +28,9 @@ std::size_t ScenarioRunner::effective_threads() const noexcept {
 
 void ScenarioRunner::for_each(std::size_t n,
                               const std::function<void(std::size_t)>& fn) const {
-  if (n == 0) return;
-
-  const std::size_t workers = std::min(effective_threads(), n);
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n || failed.load(std::memory_order_relaxed)) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  try {
-    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
-  } catch (...) {
-    // Thread creation failed (resource exhaustion); the workers already
-    // started must be joined before the pool vector unwinds, or their
-    // destructors call std::terminate.
-    failed.store(true, std::memory_order_relaxed);
-    for (std::thread& t : pool) t.join();
-    throw;
-  }
-  for (std::thread& t : pool) t.join();
-
-  if (first_error) std::rethrow_exception(first_error);
+  exec::Executor& executor =
+      options_.executor ? *options_.executor : exec::Executor::shared();
+  executor.parallel_for(n, fn, effective_threads());
 }
 
 Scenario econcast_scenario(std::string name, model::NodeSet nodes,
@@ -81,6 +40,11 @@ Scenario econcast_scenario(std::string name, model::NodeSet nodes,
 }
 
 BatchResult ScenarioRunner::run(const std::vector<Scenario>& batch) const {
+  return run(batch, 0);
+}
+
+BatchResult ScenarioRunner::run(const std::vector<Scenario>& batch,
+                                std::uint64_t seed_offset) const {
   // Validate the whole batch up front so a misconfigured scenario fails with
   // a deterministic, index-attributed error before any work is spawned:
   // topology/node-count mismatches, and protocol resolution (unknown name or
@@ -107,11 +71,11 @@ BatchResult ScenarioRunner::run(const std::vector<Scenario>& batch) const {
   BatchResult out;
   out.results.resize(batch.size());
 
-  for_each(batch.size(), [&](std::size_t i) {
+  const auto task = [&](std::size_t i) {
     const Scenario& s = batch[i];
-    const std::uint64_t seed = options_.reseed
-                                   ? derive_seed(options_.base_seed, i)
-                                   : protocol::effective_seed(s.protocol);
+    const std::uint64_t seed =
+        options_.reseed ? derive_seed(options_.base_seed, seed_offset + i)
+                        : protocol::effective_seed(s.protocol);
     try {
       out.results[i] = protocols[i]->make_sim(s.nodes, s.topology, seed)->run();
     } catch (const std::invalid_argument& e) {
@@ -121,7 +85,19 @@ BatchResult ScenarioRunner::run(const std::vector<Scenario>& batch) const {
       throw std::invalid_argument("scenario '" + s.name + "' (index " +
                                   std::to_string(i) + "): " + e.what());
     }
-  });
+  };
+
+  exec::Executor::ProgressFn progress;
+  if (options_.on_scenario_done) {
+    progress = [&](const exec::TaskProgress& p) {
+      options_.on_scenario_done(ScenarioProgress{
+          p.index, p.done, p.total, &batch[p.index], &out.results[p.index]});
+    };
+  }
+
+  exec::Executor& executor =
+      options_.executor ? *options_.executor : exec::Executor::shared();
+  executor.parallel_for(batch.size(), task, effective_threads(), progress);
 
   out.summary = summarize(out.results);
   return out;

@@ -5,30 +5,38 @@
 // heterogeneity point, several (N, σ, mode) cells per figure, and every
 // figure overlays several protocols under identical settings. ScenarioRunner
 // makes that batch workload first-class: it executes a vector of
-// (NodeSet, Topology, ProtocolSpec) scenarios across a std::thread pool —
-// the protocols are resolved through protocol::ProtocolRegistry, so one
-// batch can mix EconCast, Panda, Birthday, analytic bounds and custom
-// protocols — and aggregates the per-scenario SimResults into summary
-// statistics.
+// (NodeSet, Topology, ProtocolSpec) scenarios — the protocols are resolved
+// through protocol::ProtocolRegistry, so one batch can mix EconCast, Panda,
+// Birthday, analytic bounds and custom protocols — and aggregates the
+// per-scenario SimResults into summary statistics.
+//
+// Execution is a thin client of the persistent work-stealing
+// exec::Executor: batches are submitted to exec::Executor::shared() (or an
+// executor of the caller's choosing) instead of spinning up and joining a
+// fresh thread pool per batch, so back-to-back sweeps reuse one warm pool.
 //
 // Determinism contract: each scenario i runs with
-//   seed = derive_seed(base_seed, i)
+//   seed = derive_seed(base_seed, seed_offset + i)
 // (unless reseeding is disabled, in which case the scenario's own seed —
 // protocol::effective_seed(scenario.protocol) — is used), every worker
 // writes only to its own result slot,
-// and aggregation happens in index order after the pool drains. The
+// and aggregation happens in index order after the batch drains. The
 // aggregate output is therefore bit-identical for any thread count,
-// including 1 — covered by tests/test_runner.cpp.
+// including 1 — covered by tests/test_runner.cpp. The seed_offset overload
+// lets a checkpointed sweep (runner::SweepSession) run any suffix of a batch
+// with exactly the seeds the full batch would have used.
 #ifndef ECONCAST_RUNNER_SCENARIO_RUNNER_H
 #define ECONCAST_RUNNER_SCENARIO_RUNNER_H
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "econcast/simulation.h"
+#include "exec/executor.h"
 #include "model/network.h"
 #include "model/node_params.h"
 #include "protocol/protocol.h"
@@ -58,8 +66,31 @@ struct Scenario {
 Scenario econcast_scenario(std::string name, model::NodeSet nodes,
                            model::Topology topology, proto::SimConfig config);
 
+/// Completion notice for one scenario of a running batch. Hooks are invoked
+/// in completion order (not index order), serialized under a mutex — `done`
+/// advances by exactly one per call and the hook body needs no locking of
+/// its own. `scenario` and `result` point into the submitted batch / the
+/// result vector under construction; `result` is fully written and any slot
+/// whose hook already fired is safe to read.
+struct ScenarioProgress {
+  std::size_t index = 0;  // position in the submitted batch
+  std::size_t done = 0;   // scenarios completed so far, including this one
+  std::size_t total = 0;
+  const Scenario* scenario = nullptr;
+  const protocol::SimResult* result = nullptr;
+};
+
 struct RunnerOptions {
-  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  RunnerOptions() = default;
+  /// Positional form used all over the benches/tests; executor and hook are
+  /// set by assignment when needed.
+  RunnerOptions(std::size_t threads, std::uint64_t seed,
+                bool reseed_cells = true)
+      : num_threads(threads), base_seed(seed), reseed(reseed_cells) {}
+
+  /// Cap on worker threads for this runner's batches; 0 means
+  /// std::thread::hardware_concurrency(). The executor may have fewer
+  /// workers, in which case its pool size is the effective cap.
   std::size_t num_threads = 0;
 
   /// Batch-level seed from which per-scenario seeds are derived.
@@ -69,6 +100,14 @@ struct RunnerOptions {
   /// protocol::effective_seed (EconCast uses config.seed, others the
   /// spec-level seed). Useful to reproduce a previously-logged run.
   bool reseed = true;
+
+  /// Executor the batches are submitted to; null means
+  /// exec::Executor::shared().
+  std::shared_ptr<exec::Executor> executor;
+
+  /// Opt-in per-scenario completion hook (progress lines, checkpoint
+  /// streaming). See ScenarioProgress for the invocation contract.
+  std::function<void(const ScenarioProgress&)> on_scenario_done;
 };
 
 /// Index-ordered summary statistics over a batch (one sample per scenario).
@@ -97,9 +136,16 @@ class ScenarioRunner {
   /// after all workers have stopped.
   BatchResult run(const std::vector<Scenario>& batch) const;
 
+  /// Same, but scenario i derives its seed from global index
+  /// (seed_offset + i) — the primitive behind resumable sweeps: running
+  /// cells [k, n) of an expanded sweep with seed_offset = k reproduces
+  /// exactly the seeds of positions [k, n) of the full batch.
+  BatchResult run(const std::vector<Scenario>& batch,
+                  std::uint64_t seed_offset) const;
+
   /// Low-level parallel for: invokes fn(i) for every i in [0, n) across the
-  /// pool. fn must confine its writes to per-index state. The first
-  /// exception thrown by any invocation is rethrown after the pool drains;
+  /// executor. fn must confine its writes to per-index state. The first
+  /// exception thrown by any invocation is rethrown after the batch drains;
   /// remaining indices are abandoned. Exposed for sweeps whose unit of work
   /// is not a protocol Sim (e.g. the Fig. 2 oracle-ratio cells).
   void for_each(std::size_t n,

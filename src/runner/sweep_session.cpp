@@ -1,0 +1,172 @@
+#include "runner/sweep_session.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "protocol/protocol_json.h"
+
+namespace econcast::runner {
+
+namespace {
+using util::json::Object;
+using util::json::Value;
+}  // namespace
+
+SweepSession::SweepSession(SweepManifest manifest, std::string results_path,
+                           Options options)
+    : manifest_(std::move(manifest)),
+      results_path_(std::move(results_path)),
+      options_(std::move(options)),
+      batch_(manifest_.spec.expand()) {
+  completed_.reserve(batch_.size());
+  load_existing();
+}
+
+SweepSession::SweepSession(SweepManifest manifest, std::string results_path)
+    : SweepSession(std::move(manifest), std::move(results_path), Options{}) {}
+
+SweepSession SweepSession::open(const std::string& manifest_path,
+                                Options options) {
+  return SweepSession(load_manifest(manifest_path),
+                      default_results_path(manifest_path),
+                      std::move(options));
+}
+
+SweepSession SweepSession::open(const std::string& manifest_path) {
+  return open(manifest_path, Options{});
+}
+
+std::string SweepSession::default_results_path(
+    const std::string& manifest_path) {
+  static constexpr std::string_view kJson = ".json";
+  std::string base = manifest_path;
+  if (base.size() > kJson.size() &&
+      base.compare(base.size() - kJson.size(), kJson.size(), kJson) == 0)
+    base.resize(base.size() - kJson.size());
+  return base + ".results.jsonl";
+}
+
+std::uint64_t SweepSession::cell_seed(std::size_t global_index) const noexcept {
+  return manifest_.reseed
+             ? derive_seed(manifest_.base_seed, global_index)
+             : protocol::effective_seed(batch_[global_index].protocol);
+}
+
+std::string SweepSession::record_line(std::size_t global_index,
+                                      const protocol::SimResult& result) const {
+  Object record;
+  record.set("index", static_cast<double>(global_index))
+      .set("name", batch_[global_index].name)
+      .set("seed", util::json::u64_to_string(cell_seed(global_index)))
+      .set("result", protocol::to_json(result));
+  return util::json::dump(Value(std::move(record))) + "\n";
+}
+
+void SweepSession::load_existing() {
+  std::ifstream in(results_path_, std::ios::binary);
+  if (!in) return;  // no checkpoint yet
+
+  std::string line;
+  std::uintmax_t good_bytes = 0;
+  while (std::getline(in, line)) {
+    if (in.eof()) break;  // no trailing '\n': a kill mid-write — truncate it
+    const std::size_t index = completed_.size();
+    if (index >= batch_.size())
+      throw std::runtime_error(
+          "results file '" + results_path_ + "' has more cells than sweep '" +
+          manifest_.spec.name() + "' expands to");
+    const Value record = util::json::parse(line);
+    const Object& o = record.as_object();
+    const auto recorded_index =
+        static_cast<std::size_t>(o.at("index").as_number());
+    const std::string& recorded_name = o.at("name").as_string();
+    const std::uint64_t recorded_seed =
+        util::json::u64_from_string(o.at("seed").as_string());
+    if (recorded_index != index || recorded_name != batch_[index].name ||
+        recorded_seed != cell_seed(index))
+      throw std::runtime_error(
+          "results file '" + results_path_ + "' line " +
+          std::to_string(index + 1) + " does not match sweep '" +
+          manifest_.spec.name() + "' cell " + std::to_string(index) + " ('" +
+          batch_[index].name + "'): the file belongs to a different manifest");
+    completed_.push_back(protocol::sim_result_from_json(o.at("result")));
+    good_bytes += line.size() + 1;
+  }
+  in.close();
+
+  // Drop whatever follows the last complete line (a partially written
+  // record); the owning cell reruns on resume.
+  std::error_code ec;
+  const std::uintmax_t file_size =
+      std::filesystem::file_size(results_path_, ec);
+  if (!ec && file_size > good_bytes)
+    std::filesystem::resize_file(results_path_, good_bytes);
+}
+
+std::size_t SweepSession::run(std::size_t limit) {
+  const std::size_t offset = completed_.size();
+  std::size_t todo = batch_.size() - offset;
+  if (limit > 0 && limit < todo) todo = limit;
+  if (todo == 0) return 0;
+
+  const std::vector<Scenario> pending(
+      batch_.begin() + static_cast<std::ptrdiff_t>(offset),
+      batch_.begin() + static_cast<std::ptrdiff_t>(offset + todo));
+
+  std::ofstream out(results_path_, std::ios::binary | std::ios::app);
+  if (!out)
+    throw std::runtime_error("cannot append to results file '" +
+                             results_path_ + "'");
+
+  // Completion-order hook (serialized by the executor): buffer out-of-order
+  // cells, append the ready prefix so the file never has gaps, then report
+  // session-global progress.
+  std::vector<const protocol::SimResult*> ready(todo, nullptr);
+  std::size_t next_flush = 0;
+
+  RunnerOptions runner_options;
+  runner_options.num_threads = options_.num_threads;
+  runner_options.base_seed = manifest_.base_seed;
+  runner_options.reseed = manifest_.reseed;
+  runner_options.executor = options_.executor;
+  runner_options.on_scenario_done = [&](const ScenarioProgress& p) {
+    ready[p.index] = p.result;
+    while (next_flush < todo && ready[next_flush] != nullptr) {
+      completed_.push_back(*ready[next_flush]);
+      out << record_line(offset + next_flush, *ready[next_flush]);
+      if (!out.flush())
+        throw std::runtime_error("write to results file '" + results_path_ +
+                                 "' failed");
+      ++next_flush;
+      if (options_.on_cell_done) {
+        ScenarioProgress global;
+        global.index = completed_.size() - 1;
+        global.done = completed_.size();
+        global.total = batch_.size();
+        global.scenario = &batch_[completed_.size() - 1];
+        global.result = &completed_.back();
+        options_.on_cell_done(global);
+      }
+    }
+  };
+
+  const ScenarioRunner runner(runner_options);
+  runner.run(pending, /*seed_offset=*/offset);
+  return todo;
+}
+
+BatchResult SweepSession::results() const {
+  if (!complete())
+    throw std::logic_error("sweep '" + manifest_.spec.name() + "' has " +
+                           std::to_string(completed_.size()) + "/" +
+                           std::to_string(batch_.size()) +
+                           " cells completed; run() it to completion first");
+  BatchResult out;
+  out.results = completed_;
+  out.summary = summarize(out.results);
+  return out;
+}
+
+}  // namespace econcast::runner

@@ -1,0 +1,97 @@
+// Checkpointed execution of a sweep manifest.
+//
+// A SweepSession pairs a SweepManifest with a results file (JSON Lines, one
+// completed cell per line, written strictly in cell-index order and flushed
+// line by line). Because the on-disk order is the expansion order and every
+// cell's seed derives from its global index, a session killed at any point —
+// even mid-write — resumes by truncating the partial trailing line, skipping
+// the completed prefix, and running the remaining cells with exactly the
+// seeds the uninterrupted run would have used. The resumed results file is
+// byte-identical to an uninterrupted one (covered by
+// tests/test_sweep_session.cpp).
+//
+// Results stream through ScenarioRunner's on_scenario_done hook: cells
+// complete on executor threads in any order, the hook (serialized) buffers
+// out-of-order completions and appends the ready prefix, so a crash never
+// loses more than the cells still in flight.
+#ifndef ECONCAST_RUNNER_SWEEP_SESSION_H
+#define ECONCAST_RUNNER_SWEEP_SESSION_H
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/manifest.h"
+#include "runner/scenario_runner.h"
+
+namespace econcast::runner {
+
+class SweepSession {
+ public:
+  struct Options {
+    /// Thread cap for the cell batches; 0 = hardware_concurrency.
+    std::size_t num_threads = 0;
+    /// Executor to submit to; null = exec::Executor::shared().
+    std::shared_ptr<exec::Executor> executor;
+    /// Per-cell completion hook with session-global numbers: `index` is the
+    /// cell's manifest index and `done`/`total` count completed cells
+    /// including those loaded from a previous run. Serialized; invoked after
+    /// the cell's line has been appended to the results file.
+    std::function<void(const ScenarioProgress&)> on_cell_done;
+  };
+
+  /// Opens a session: expands the manifest, loads the completed prefix from
+  /// `results_path` (creating the file lazily on first run), truncates any
+  /// partial trailing line a kill left behind, and validates that the
+  /// recorded cells match the manifest expansion (index, name and seed per
+  /// line). Throws std::runtime_error on a manifest/results mismatch and
+  /// util::json::Error on corrupt (complete but unparsable) lines.
+  SweepSession(SweepManifest manifest, std::string results_path,
+               Options options);
+  SweepSession(SweepManifest manifest, std::string results_path);
+
+  /// Convenience: load the manifest file and pair it with
+  /// default_results_path(manifest_path).
+  static SweepSession open(const std::string& manifest_path, Options options);
+  static SweepSession open(const std::string& manifest_path);
+
+  /// "<path minus trailing .json>.results.jsonl".
+  static std::string default_results_path(const std::string& manifest_path);
+
+  std::size_t cell_count() const noexcept { return batch_.size(); }
+  std::size_t completed_cells() const noexcept { return completed_.size(); }
+  bool complete() const noexcept { return completed_.size() == batch_.size(); }
+  const std::vector<Scenario>& cells() const noexcept { return batch_; }
+  const std::string& results_path() const noexcept { return results_path_; }
+  const SweepManifest& manifest() const noexcept { return manifest_; }
+
+  /// Runs up to `limit` of the remaining cells (0 = all remaining),
+  /// appending each completed cell to the results file. Returns the number
+  /// of newly completed cells. Safe to call repeatedly; a no-op when the
+  /// session is already complete. If a cell throws, every cell completed
+  /// before the failure is already checkpointed and the exception is
+  /// rethrown.
+  std::size_t run(std::size_t limit = 0);
+
+  /// Index-ordered results and summary over the whole sweep. Requires
+  /// complete() (throws std::logic_error otherwise).
+  BatchResult results() const;
+
+ private:
+  void load_existing();
+  std::string record_line(std::size_t global_index,
+                          const protocol::SimResult& result) const;
+  std::uint64_t cell_seed(std::size_t global_index) const noexcept;
+
+  SweepManifest manifest_;
+  std::string results_path_;
+  Options options_;
+  std::vector<Scenario> batch_;                 // full expansion
+  std::vector<protocol::SimResult> completed_;  // prefix, mirrors the file
+};
+
+}  // namespace econcast::runner
+
+#endif  // ECONCAST_RUNNER_SWEEP_SESSION_H

@@ -82,12 +82,38 @@ SweepSpec& SweepSpec::replicates(std::size_t count) {
 SweepSpec& SweepSpec::topology(
     std::function<model::Topology(std::size_t)> make) {
   topology_ = std::move(make);
+  topology_kind_.clear();  // custom: not expressible in a manifest
+  return *this;
+}
+
+SweepSpec& SweepSpec::topology(const std::string& kind) {
+  if (kind == "clique") {
+    topology_ = nullptr;  // the expansion default
+  } else if (kind == "line") {
+    topology_ = [](std::size_t n) { return model::Topology::line(n); };
+  } else if (kind == "ring") {
+    topology_ = [](std::size_t n) { return model::Topology::ring(n); };
+  } else if (kind == "grid") {
+    topology_ = [](std::size_t n) {
+      std::size_t k = 0;
+      while ((k + 1) * (k + 1) <= n) ++k;
+      if (k * k != n)
+        throw std::invalid_argument(
+            "grid topology requires a square node count, got " +
+            std::to_string(n));
+      return model::Topology::grid(k, k);
+    };
+  } else {
+    throw std::invalid_argument("unknown topology kind '" + kind + "'");
+  }
+  topology_kind_ = kind;
   return *this;
 }
 
 SweepSpec& SweepSpec::node_set(
     std::function<model::NodeSet(std::size_t, const PowerPoint&)> make) {
   node_set_ = std::move(make);
+  node_set_kind_.clear();  // custom: not expressible in a manifest
   return *this;
 }
 

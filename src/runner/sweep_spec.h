@@ -53,14 +53,41 @@ class SweepSpec {
   SweepSpec& sigmas(std::vector<double> sigmas);
   SweepSpec& replicates(std::size_t count);
 
-  /// Topology as a function of the node count (default: clique).
+  /// Topology as a function of the node count (default: clique). A custom
+  /// function makes the spec non-serializable (see topology_kind).
   SweepSpec& topology(std::function<model::Topology(std::size_t)> make);
+
+  /// Topology by name — the serializable form used by sweep manifests:
+  /// "clique", "line", "ring", or "grid" (square grids; node counts must be
+  /// perfect squares). Throws std::invalid_argument for unknown kinds.
+  SweepSpec& topology(const std::string& kind);
 
   /// Node sets as a function of (node count, power point); the default is
   /// model::homogeneous. Lets sweeps use heterogeneous populations while
-  /// keeping the N and power axes meaningful.
+  /// keeping the N and power axes meaningful. A custom function makes the
+  /// spec non-serializable.
   SweepSpec& node_set(
       std::function<model::NodeSet(std::size_t, const PowerPoint&)> make);
+
+  // Accessors for the serialization layer (runner/manifest.h).
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<protocol::ProtocolSpec>& protocol_axis() const noexcept {
+    return protocols_;
+  }
+  const std::vector<model::Mode>& mode_axis() const noexcept { return modes_; }
+  const std::vector<std::size_t>& node_count_axis() const noexcept {
+    return node_counts_;
+  }
+  const std::vector<PowerPoint>& power_axis() const noexcept {
+    return powers_;
+  }
+  const std::vector<double>& sigma_axis() const noexcept { return sigmas_; }
+  std::size_t replicate_count() const noexcept { return replicates_; }
+  /// The named topology kind ("clique" when defaulted), or "" when a custom
+  /// topology function was installed — such specs cannot be serialized.
+  const std::string& topology_kind() const noexcept { return topology_kind_; }
+  /// "homogeneous" (the default), or "" for a custom node-set function.
+  const std::string& node_set_kind() const noexcept { return node_set_kind_; }
 
   std::size_t cell_count() const noexcept;
 
@@ -88,6 +115,8 @@ class SweepSpec {
   std::size_t replicates_ = 1;
   std::function<model::Topology(std::size_t)> topology_;
   std::function<model::NodeSet(std::size_t, const PowerPoint&)> node_set_;
+  std::string topology_kind_ = "clique";
+  std::string node_set_kind_ = "homogeneous";
 };
 
 }  // namespace econcast::runner

@@ -1,23 +1,24 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace econcast::sim {
 
 void EventQueue::push(double time, EventKind kind, std::uint32_t node,
                       std::uint64_t stamp) {
-  heap_.push(Event{time, next_seq_++, kind, node, stamp});
+  heap_.push_back(Event{time, next_seq_++, kind, node, stamp});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 Event EventQueue::pop() {
   if (heap_.empty()) throw std::logic_error("pop from empty EventQueue");
-  Event e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event e = heap_.back();
+  heap_.pop_back();
   return e;
 }
 
-void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
-}
+void EventQueue::clear() { heap_.clear(); }
 
 }  // namespace econcast::sim

@@ -5,8 +5,8 @@
 #ifndef ECONCAST_SIM_EVENT_QUEUE_H
 #define ECONCAST_SIM_EVENT_QUEUE_H
 
+#include <cstddef>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 namespace econcast::sim {
@@ -30,15 +30,26 @@ struct Event {
 
 /// Min-heap on (time, seq). seq is assigned by push order, making the
 /// simulation fully deterministic for a fixed seed.
+///
+/// Backed by a plain std::vector + std::push_heap/pop_heap rather than
+/// std::priority_queue so callers can `reserve` capacity up front: the live
+/// event count is bounded by a few events per node, but without a reserve
+/// the vector reallocates several times during ramp-up of every run — churn
+/// that is measurable in the N >= 64 regime (bench_micro's
+/// BM_EventQueuePushPop quantifies it). Pop order is a strict total order on
+/// (time, seq), so the heap implementation cannot affect simulation results.
 class EventQueue {
  public:
   void push(double time, EventKind kind, std::uint32_t node,
             std::uint64_t stamp = 0);
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t size() const noexcept { return heap_.size(); }
-  const Event& top() const { return heap_.top(); }
+  const Event& top() const { return heap_.front(); }
   Event pop();
   void clear();
+  /// Pre-allocates capacity for `n` simultaneously pending events.
+  void reserve(std::size_t n) { heap_.reserve(n); }
+  std::size_t capacity() const noexcept { return heap_.capacity(); }
   std::uint64_t pushed() const noexcept { return next_seq_; }
 
  private:
@@ -48,7 +59,7 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -48,6 +48,7 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
                            1.0 + hw.sleep_clock_drift);
 
   sim::EventQueue queue;
+  queue.reserve(4 * cfg.n + 8);  // same bound as proto::Simulation
   double now = 0.0;
 
   int transmitter = -1;  // clique: at most one

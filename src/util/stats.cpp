@@ -19,6 +19,17 @@ void RunningStats::add(double x) noexcept {
   m2_ += delta * (x - mean_);
 }
 
+RunningStats RunningStats::restore(std::size_t count, double mean, double m2,
+                                   double min, double max) noexcept {
+  RunningStats s;
+  s.n_ = count;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 double RunningStats::variance() const noexcept {
   if (n_ < 2) return 0.0;
   return m2_ / static_cast<double>(n_ - 1);

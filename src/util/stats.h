@@ -28,6 +28,17 @@ class RunningStats {
   /// approximation, 1.96 * stderr). 0 with fewer than 2 samples.
   double ci95_halfwidth() const noexcept;
 
+  /// Raw Welford accumulator Σ(x - mean)² — exposed (with `restore`) so the
+  /// checkpoint serializer can round-trip the exact internal state; variance
+  /// reconstructed from variance() would not be bit-identical.
+  double m2() const noexcept { return m2_; }
+
+  /// Rebuilds an accumulator from previously serialized internals. The
+  /// arguments must come from a matching (count, mean, m2, min, max)
+  /// snapshot of another RunningStats.
+  static RunningStats restore(std::size_t count, double mean, double m2,
+                              double min, double max) noexcept;
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

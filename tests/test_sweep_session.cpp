@@ -1,0 +1,392 @@
+// Tests for the sweep-manifest serialization layer and the
+// checkpoint/resume SweepSession:
+//  - ProtocolSpec / Scenario / SweepSpec JSON round trips (re-expansion
+//    yields identical batch names, seeds and simulation results),
+//  - SimResult JSON round trips bit-identically (RunningStats internals
+//    included),
+//  - resume-after-kill: truncate the results JSONL mid-sweep (both at a line
+//    boundary and mid-line), resume, and compare byte-for-byte against an
+//    uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "protocol/protocol_json.h"
+#include "runner/manifest.h"
+#include "runner/scenario_runner.h"
+#include "runner/sweep_session.h"
+
+namespace {
+
+using namespace econcast;
+namespace fs = std::filesystem;
+namespace json = util::json;
+
+fs::path test_dir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       (std::string("econcast_") + info->test_suite_name() +
+                        "_" + info->name());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// A small stochastic + analytic sweep: 2 protocols x 2 N x 2 σ x 2
+/// replicates = 16 cells, a couple of seconds end to end.
+runner::SweepSpec small_sweep() {
+  proto::SimConfig cfg;
+  cfg.duration = 4e3;
+  cfg.warmup = 5e2;
+  return runner::SweepSpec("mini")
+      .protocols({protocol::econcast_spec(cfg),
+                  protocol::p4_spec(model::Mode::kGroupput, 0.5)})
+      .node_counts({3, 4})
+      .sigmas({0.5, 0.75})
+      .replicates(2);
+}
+
+// ------------------------------------------------- ProtocolSpec round trip --
+
+TEST(ProtocolJson, AllBuiltinSpecsRoundTrip) {
+  proto::SimConfig cfg;
+  cfg.mode = model::Mode::kAnyput;
+  cfg.variant = proto::Variant::kNonCapture;
+  cfg.sigma = 0.3125;
+  cfg.multiplier.schedule = proto::StepSchedule::kTheorem1;
+  cfg.multiplier.delta = 0.07;
+  cfg.eta_init = {0.001, 0.002, 0.003};
+  cfg.auto_step_gain = 0.011;
+  cfg.estimator.kind = proto::EstimatorKind::kBinomialThinning;
+  cfg.estimator.detect_prob = 0.9;
+  cfg.duration = 12345.5;
+  cfg.seed = 0xDEADBEEFCAFEF00DULL;  // > 2^53: must survive as a string
+  cfg.energy_guard = true;
+  cfg.initial_energy = 777.0;
+
+  protocol::PandaParams panda;
+  panda.optimize = false;
+  panda.wake_rate = 0.0125;
+  panda.listen_window = 2.5;
+  panda.simulate = true;
+
+  protocol::BirthdayParams birthday;
+  birthday.slots = (1ULL << 60) + 7;  // u64 string codec on the wire
+
+  std::vector<protocol::ProtocolSpec> specs{
+      protocol::econcast_spec(cfg),
+      protocol::p4_spec(model::Mode::kAnyput, 0.125),
+      protocol::oracle_spec(model::Mode::kAnyput),
+      protocol::panda_spec(panda),
+      protocol::birthday_spec(birthday),
+      protocol::searchlight_spec({0.025, 0.0005}),
+      protocol::testbed_spec({0.2, 1e6, 1e5, false}),
+  };
+  specs[0].seed = 0xFFFFFFFFFFFFFFFFULL;
+
+  for (const protocol::ProtocolSpec& spec : specs) {
+    SCOPED_TRACE(spec.name);
+    const json::Value wire = protocol::to_json(spec);
+    const protocol::ProtocolSpec back =
+        protocol::spec_from_json(json::parse(json::dump(wire)));
+    EXPECT_EQ(back.name, spec.name);
+    EXPECT_EQ(back.seed, spec.seed);
+    EXPECT_EQ(protocol::effective_seed(back), protocol::effective_seed(spec));
+    // Field-by-field equality via the canonical dump.
+    EXPECT_EQ(json::dump(protocol::to_json(back)), json::dump(wire));
+  }
+}
+
+TEST(ProtocolJson, RejectsUnknownAndMismatched) {
+  protocol::ProtocolSpec custom;
+  custom.name = "my-custom-protocol";
+  EXPECT_THROW(protocol::to_json(custom), json::Error);
+
+  protocol::ProtocolSpec mismatched = protocol::panda_spec();
+  mismatched.name = "birthday";  // params stay PandaParams
+  EXPECT_THROW(protocol::to_json(mismatched), json::Error);
+
+  EXPECT_THROW(protocol::spec_from_json(
+                   json::parse(R"({"name":"carrier-pigeon","params":{}})")),
+               json::Error);
+}
+
+// ---------------------------------------------------- SimResult round trip --
+
+TEST(ProtocolJson, SimResultRoundTripsBitIdentically) {
+  // A real stochastic result exercises every field.
+  proto::SimConfig cfg;
+  cfg.duration = 6e3;
+  cfg.warmup = 1e3;
+  cfg.seed = 99;
+  const auto nodes = model::homogeneous(4, 10.0, 500.0, 500.0);
+  const auto spec = protocol::econcast_spec(cfg);
+  const auto sim = protocol::ProtocolRegistry::global().create(spec)->make_sim(
+      nodes, model::Topology::clique(4), 1234567890123456789ULL);
+  const protocol::SimResult r = sim->run();
+  ASSERT_GT(r.packets_received, 0u);
+  ASSERT_GT(r.burst_lengths.count(), 0u);
+  ASSERT_FALSE(r.latencies.samples().empty());
+  ASSERT_FALSE(r.extras.empty());
+
+  const protocol::SimResult back = protocol::sim_result_from_json(
+      json::parse(json::dump(protocol::to_json(r))));
+  EXPECT_EQ(back.measured_window, r.measured_window);
+  EXPECT_EQ(back.groupput, r.groupput);
+  EXPECT_EQ(back.anyput, r.anyput);
+  EXPECT_EQ(back.avg_power, r.avg_power);
+  EXPECT_EQ(back.listen_fraction, r.listen_fraction);
+  EXPECT_EQ(back.transmit_fraction, r.transmit_fraction);
+  EXPECT_EQ(back.burst_lengths.count(), r.burst_lengths.count());
+  EXPECT_EQ(back.burst_lengths.mean(), r.burst_lengths.mean());
+  EXPECT_EQ(back.burst_lengths.m2(), r.burst_lengths.m2());
+  EXPECT_EQ(back.burst_lengths.min(), r.burst_lengths.min());
+  EXPECT_EQ(back.burst_lengths.max(), r.burst_lengths.max());
+  EXPECT_EQ(back.latencies.samples(), r.latencies.samples());
+  EXPECT_EQ(back.packets_sent, r.packets_sent);
+  EXPECT_EQ(back.packets_received, r.packets_received);
+  EXPECT_EQ(back.extras, r.extras);
+}
+
+// ------------------------------------------------------ Scenario round trip --
+
+TEST(ManifestJson, ScenarioRoundTripRunsIdentically) {
+  proto::SimConfig cfg;
+  cfg.sigma = 0.4;
+  cfg.duration = 3e3;
+  const runner::Scenario original = runner::econcast_scenario(
+      "grid-cell", model::homogeneous(6, 10.0, 480.0, 520.0),
+      model::Topology::grid(2, 3), cfg);
+
+  const runner::Scenario back = runner::scenario_from_json(
+      json::parse(json::dump(runner::to_json(original))));
+  EXPECT_EQ(back.name, original.name);
+  ASSERT_EQ(back.nodes.size(), original.nodes.size());
+  EXPECT_EQ(back.topology.size(), original.topology.size());
+  EXPECT_EQ(back.topology.edge_count(), original.topology.edge_count());
+  for (std::size_t i = 0; i < back.topology.size(); ++i)
+    EXPECT_EQ(back.topology.neighbors(i), original.topology.neighbors(i));
+
+  // The reconstructed scenario must simulate bit-identically.
+  const runner::ScenarioRunner r(runner::RunnerOptions{1, 5, true});
+  const auto a = r.run({original});
+  const auto b = r.run({back});
+  EXPECT_EQ(a.results[0].groupput, b.results[0].groupput);
+  EXPECT_EQ(a.results[0].packets_received, b.results[0].packets_received);
+  EXPECT_EQ(a.results[0].avg_power, b.results[0].avg_power);
+}
+
+// ----------------------------------------------------- SweepSpec round trip --
+
+TEST(ManifestJson, SweepSpecReExpandsIdentically) {
+  const runner::SweepSpec spec =
+      runner::SweepSpec("fig3a-like")
+          .protocols({protocol::p4_spec(model::Mode::kGroupput, 0.5),
+                      protocol::panda_spec(), protocol::birthday_spec(),
+                      protocol::searchlight_spec(),
+                      protocol::oracle_spec(model::Mode::kGroupput)})
+          .modes({model::Mode::kGroupput, model::Mode::kAnyput})
+          .node_counts({4, 9})
+          .powers(runner::power_ratio_axis({0.25, 1.0, 4.0}, 10.0, 1000.0))
+          .sigmas({0.1, 0.25, 0.5})
+          .replicates(2)
+          .topology("grid");
+
+  const runner::SweepSpec back = runner::sweep_spec_from_json(
+      json::parse(json::dump(runner::to_json(spec))));
+  EXPECT_EQ(back.name(), spec.name());
+  EXPECT_EQ(back.topology_kind(), "grid");
+  EXPECT_EQ(back.cell_count(), spec.cell_count());
+
+  const std::vector<runner::Scenario> a = spec.expand();
+  const std::vector<runner::Scenario> b = back.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(protocol::effective_seed(a[i].protocol),
+              protocol::effective_seed(b[i].protocol));
+    // derive_seed depends only on (base, index): identical by construction —
+    // assert the protocols themselves match too, via the canonical dump.
+    EXPECT_EQ(json::dump(protocol::to_json(a[i].protocol)),
+              json::dump(protocol::to_json(b[i].protocol)));
+    EXPECT_EQ(a[i].topology.edge_count(), b[i].topology.edge_count());
+  }
+}
+
+TEST(ManifestJson, CustomTopologyIsNotSerializable) {
+  runner::SweepSpec spec("custom");
+  spec.topology([](std::size_t n) { return model::Topology::line(n); });
+  EXPECT_EQ(spec.topology_kind(), "");
+  EXPECT_THROW(runner::to_json(spec), json::Error);
+  EXPECT_THROW(runner::SweepSpec("x").topology("moebius"),
+               std::invalid_argument);
+}
+
+TEST(ManifestJson, ManifestFileRoundTrips) {
+  const fs::path dir = test_dir();
+  const std::string path = (dir / "mini.manifest.json").string();
+  const runner::SweepManifest manifest(small_sweep(), 4242, true);
+  runner::write_manifest(manifest, path);
+
+  const runner::SweepManifest back = runner::load_manifest(path);
+  EXPECT_EQ(back.base_seed, 4242u);
+  EXPECT_TRUE(back.reseed);
+  EXPECT_EQ(json::dump(runner::to_json(back)),
+            json::dump(runner::to_json(manifest)));
+}
+
+// -------------------------------------------------------------- SweepSession --
+
+TEST(SweepSession, UninterruptedRunCompletesAndAggregates) {
+  const fs::path dir = test_dir();
+  const runner::SweepManifest manifest(small_sweep(), 7, true);
+  runner::SweepSession session(manifest, (dir / "a.jsonl").string());
+  EXPECT_EQ(session.cell_count(), 16u);
+  EXPECT_EQ(session.completed_cells(), 0u);
+  EXPECT_THROW(session.results(), std::logic_error);
+  EXPECT_EQ(session.run(), 16u);
+  EXPECT_TRUE(session.complete());
+  const runner::BatchResult all = session.results();
+  EXPECT_EQ(all.results.size(), 16u);
+  EXPECT_GT(all.summary.groupput.mean(), 0.0);
+
+  // The file holds one valid record per cell, in index order.
+  std::ifstream in(dir / "a.jsonl");
+  std::string line;
+  std::size_t index = 0;
+  while (std::getline(in, line)) {
+    const json::Value record = json::parse(line);
+    EXPECT_EQ(record.at("index").as_number(), static_cast<double>(index));
+    EXPECT_EQ(record.at("name").as_string(), session.cells()[index].name);
+    ++index;
+  }
+  EXPECT_EQ(index, 16u);
+}
+
+TEST(SweepSession, LimitCheckpointsAndResumeIsByteIdentical) {
+  const fs::path dir = test_dir();
+  const runner::SweepManifest manifest(small_sweep(), 7, true);
+
+  runner::SweepSession full(manifest, (dir / "full.jsonl").string());
+  full.run();
+
+  // Interrupted run: 5 cells, new session object (fresh process in CI),
+  // finish, compare bytes.
+  {
+    runner::SweepSession part(manifest, (dir / "part.jsonl").string());
+    EXPECT_EQ(part.run(5), 5u);
+    EXPECT_EQ(part.completed_cells(), 5u);
+    EXPECT_FALSE(part.complete());
+  }
+  {
+    runner::SweepSession resumed(manifest, (dir / "part.jsonl").string());
+    EXPECT_EQ(resumed.completed_cells(), 5u);  // loaded, not recomputed
+    EXPECT_EQ(resumed.run(), 11u);
+    EXPECT_TRUE(resumed.complete());
+    // Aggregates over loaded + fresh cells match the uninterrupted run.
+    const runner::BatchResult a = full.results();
+    const runner::BatchResult b = resumed.results();
+    EXPECT_EQ(a.summary.groupput.mean(), b.summary.groupput.mean());
+    EXPECT_EQ(a.summary.groupput.stddev(), b.summary.groupput.stddev());
+    EXPECT_EQ(a.summary.packets_received.sum(),
+              b.summary.packets_received.sum());
+  }
+  EXPECT_EQ(slurp(dir / "part.jsonl"), slurp(dir / "full.jsonl"));
+}
+
+TEST(SweepSession, TruncatedMidLineResumesByteIdentically) {
+  // The kill-at-any-byte contract: chop the results file mid-record; the
+  // partial line is discarded on open and its cell reruns.
+  const fs::path dir = test_dir();
+  const runner::SweepManifest manifest(small_sweep(), 7, true);
+
+  runner::SweepSession full(manifest, (dir / "full.jsonl").string());
+  full.run();
+  const std::string reference = slurp(dir / "full.jsonl");
+
+  {
+    runner::SweepSession part(manifest, (dir / "killed.jsonl").string());
+    part.run(4);
+  }
+  // Simulate a kill mid-write of record 4: keep 3 full lines + part of the
+  // 4th (no trailing newline).
+  std::string bytes = slurp(dir / "killed.jsonl");
+  std::size_t third_newline = 0;
+  for (int k = 0; k < 3; ++k)
+    third_newline = bytes.find('\n', third_newline) + 1;
+  ASSERT_LT(third_newline + 10, bytes.size());
+  bytes.resize(third_newline + 10);  // mid-line garbage tail
+  {
+    std::ofstream out(dir / "killed.jsonl",
+                      std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  runner::SweepSession resumed(manifest, (dir / "killed.jsonl").string());
+  EXPECT_EQ(resumed.completed_cells(), 3u);  // partial 4th line dropped
+  resumed.run();
+  EXPECT_EQ(slurp(dir / "killed.jsonl"), reference);
+}
+
+TEST(SweepSession, RejectsResultsFromADifferentManifest) {
+  const fs::path dir = test_dir();
+  const runner::SweepManifest manifest(small_sweep(), 7, true);
+  {
+    runner::SweepSession session(manifest, (dir / "r.jsonl").string());
+    session.run(3);
+  }
+  // Same shape, different base seed: recorded seeds no longer match.
+  const runner::SweepManifest other(small_sweep(), 8, true);
+  EXPECT_THROW(
+      runner::SweepSession(other, (dir / "r.jsonl").string()),
+      std::runtime_error);
+  // A different sweep entirely: names mismatch.
+  proto::SimConfig cfg;
+  cfg.duration = 4e3;
+  const runner::SweepManifest renamed(
+      runner::SweepSpec("other").protocols({protocol::econcast_spec(cfg)}),
+      7, true);
+  EXPECT_THROW(
+      runner::SweepSession(renamed, (dir / "r.jsonl").string()),
+      std::runtime_error);
+}
+
+TEST(SweepSession, ReseedOffUsesEmbeddedSeeds) {
+  const fs::path dir = test_dir();
+  proto::SimConfig cfg;
+  cfg.duration = 3e3;
+  cfg.seed = 424242;
+  const runner::SweepManifest manifest(
+      runner::SweepSpec("fixed-seed").protocols({protocol::econcast_spec(cfg)}),
+      1, /*reseed=*/false);
+  runner::SweepSession session(manifest, (dir / "f.jsonl").string());
+  session.run();
+  const json::Value record = json::parse(slurp(dir / "f.jsonl"));
+  EXPECT_EQ(record.at("seed").as_string(), "424242");
+
+  proto::Simulation direct(model::homogeneous(5, 10.0, 500.0, 500.0),
+                           model::Topology::clique(5), cfg);
+  EXPECT_EQ(session.results().results[0].groupput, direct.run().groupput);
+}
+
+TEST(SweepSession, DefaultResultsPath) {
+  EXPECT_EQ(runner::SweepSession::default_results_path("a/b/fig3a.manifest.json"),
+            "a/b/fig3a.manifest.results.jsonl");
+  EXPECT_EQ(runner::SweepSession::default_results_path("weird.txt"),
+            "weird.txt.results.jsonl");
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// econcast_sweep — run any JSON sweep manifest end-to-end with
+// checkpoint/resume.
+//
+//   econcast_sweep <manifest.json> [--results PATH] [--threads N]
+//                  [--limit N] [--fresh] [--progress] [--quiet]
+//
+// Completed cells stream to the results JSONL next to the manifest (or
+// --results). Re-running the same command resumes: the completed prefix is
+// loaded, a partially written trailing line (from a kill) is truncated, and
+// only the remaining cells execute — the final file is byte-identical to an
+// uninterrupted run. --limit N checkpoints after N new cells and exits,
+// which is how CI exercises the kill/resume path deterministically.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "runner/sweep_session.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <manifest.json> [--results PATH] [--threads N]\n"
+               "       [--limit N] [--fresh] [--progress] [--quiet]\n"
+               "\n"
+               "  --results PATH  results JSONL (default: manifest path with\n"
+               "                  .json replaced by .results.jsonl)\n"
+               "  --threads N     cap worker threads (default: all cores)\n"
+               "  --limit N       stop after N newly completed cells; rerun\n"
+               "                  to resume from the checkpoint\n"
+               "  --fresh         discard an existing results file first\n"
+               "  --progress      print a line per completed cell to stderr\n"
+               "  --quiet         suppress the completion summary\n",
+               argv0);
+  std::exit(2);
+}
+
+bool parse_size(const char* text, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace econcast;
+
+  std::string manifest_path;
+  std::string results_path;
+  std::size_t threads = 0;
+  std::size_t limit = 0;
+  bool fresh = false;
+  bool progress = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--results") == 0) {
+      results_path = value();
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      if (!parse_size(value(), threads)) usage(argv[0]);
+    } else if (std::strcmp(arg, "--limit") == 0) {
+      if (!parse_size(value(), limit)) usage(argv[0]);
+    } else if (std::strcmp(arg, "--fresh") == 0) {
+      fresh = true;
+    } else if (std::strcmp(arg, "--progress") == 0) {
+      progress = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (arg[0] == '-') {
+      usage(argv[0]);
+    } else if (manifest_path.empty()) {
+      manifest_path = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (manifest_path.empty()) usage(argv[0]);
+  if (results_path.empty())
+    results_path = runner::SweepSession::default_results_path(manifest_path);
+
+  try {
+    if (fresh) std::remove(results_path.c_str());
+
+    runner::SweepSession::Options options;
+    options.num_threads = threads;
+    if (progress) {
+      options.on_cell_done = [](const runner::ScenarioProgress& p) {
+        std::fprintf(stderr, "[%zu/%zu] %s\n", p.done, p.total,
+                     p.scenario->name.c_str());
+      };
+    }
+
+    runner::SweepSession session(runner::load_manifest(manifest_path),
+                                 results_path, options);
+    const std::size_t resumed = session.completed_cells();
+    const std::size_t ran = session.run(limit);
+
+    if (!quiet) {
+      std::printf("sweep '%s': %zu/%zu cells complete (%zu resumed, %zu run)\n",
+                  session.manifest().spec.name().c_str(),
+                  session.completed_cells(), session.cell_count(), resumed,
+                  ran);
+      std::printf("results: %s\n", session.results_path().c_str());
+      if (session.complete()) {
+        const runner::BatchResult all = session.results();
+        std::printf(
+            "summary: groupput mean %.6g (stddev %.3g), anyput mean %.6g, "
+            "mean node power %.6g\n",
+            all.summary.groupput.mean(), all.summary.groupput.stddev(),
+            all.summary.anyput.mean(), all.summary.node_power.mean());
+      } else {
+        std::printf("checkpointed early (--limit %zu); rerun to resume\n",
+                    limit);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "econcast_sweep: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

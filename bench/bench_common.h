@@ -13,6 +13,7 @@
 #include <cstring>
 #include <filesystem>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "runner/scenario_runner.h"
@@ -85,11 +86,11 @@ inline std::function<void(const runner::ScenarioProgress&)> progress_printer(
 /// and returns the aggregated batch. The manifest file stays behind so the
 /// same sweep can be re-run or resumed standalone:
 ///   econcast_sweep <dir>/<name>.manifest.json
-inline runner::BatchResult run_manifest_sweep(const std::string& dir,
-                                              const std::string& name,
-                                              const runner::SweepSpec& spec,
-                                              std::uint64_t base_seed,
-                                              bool reseed = true) {
+inline runner::BatchResult run_manifest_sweep(
+    const std::string& dir, const std::string& name,
+    const runner::SweepSpec& spec, std::uint64_t base_seed,
+    bool reseed = true,
+    std::shared_ptr<exec::Executor> executor = nullptr) {
   const std::string manifest_path = dir + "/" + name + ".manifest.json";
   const std::string results_path = dir + "/" + name + ".results.jsonl";
   const runner::SweepManifest manifest(spec, base_seed, reseed);
@@ -97,6 +98,7 @@ inline runner::BatchResult run_manifest_sweep(const std::string& dir,
   std::remove(results_path.c_str());
 
   runner::SweepSession::Options options;
+  options.executor = std::move(executor);
   options.on_cell_done = progress_printer(name);
   runner::SweepSession session(manifest, results_path, options);
   std::fprintf(stderr, "[%s] manifest: %s (%zu cells)\n", name.c_str(),

@@ -56,9 +56,10 @@ int main(int argc, char** argv) {
       t.add_row();
       t.add_cell(ratios[p], 3);
       for (std::size_t s = 0; s < sigmas.size(); ++s)
-        t.add_cell(panel_a.results[sweep_a.cell_index(0, 0, 0, p, s)].groupput /
-                       t_star,
-                   4);
+        t.add_cell(
+            panel_a.results[sweep_a.cell_index(0, 0, 0, p, 0, s)].groupput /
+                t_star,
+            4);
       for (std::size_t proto = 1; proto <= 3; ++proto)
         t.add_cell(
             panel_a.results[sweep_a.cell_index(proto, 0, 0, p, 0)].groupput /
@@ -88,9 +89,10 @@ int main(int argc, char** argv) {
       t.add_row();
       t.add_cell(ratios[p], 3);
       for (std::size_t s = 0; s < sigmas.size(); ++s)
-        t.add_cell(panel_b.results[sweep_b.cell_index(0, 0, 0, p, s)].anyput /
-                       t_star,
-                   4);
+        t.add_cell(
+            panel_b.results[sweep_b.cell_index(0, 0, 0, p, 0, s)].anyput /
+                t_star,
+            4);
     }
     t.print(std::cout, "Fig. 3(b) — anyput ratio T^s_a / T*_a");
   }
@@ -104,9 +106,11 @@ int main(int argc, char** argv) {
     const double panda =
         panel_a.results[sweep_a.cell_index(1, 0, 0, kSymmetric, 0)].groupput;
     const double g05 =
-        panel_a.results[sweep_a.cell_index(0, 0, 0, kSymmetric, 2)].groupput;
+        panel_a.results[sweep_a.cell_index(0, 0, 0, kSymmetric, 0, 2)]
+            .groupput;
     const double g025 =
-        panel_a.results[sweep_a.cell_index(0, 0, 0, kSymmetric, 1)].groupput;
+        panel_a.results[sweep_a.cell_index(0, 0, 0, kSymmetric, 0, 1)]
+            .groupput;
     std::printf("\nheadline at X = L = 500uW: EconCast/Panda = %.1fx (s=0.5), "
                 "%.1fx (s=0.25)   [oracle ratio %.3f/%.3f]\n",
                 g05 / panda, g025 / panda, g05 / t_star, g025 / t_star);

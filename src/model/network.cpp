@@ -127,4 +127,13 @@ std::size_t Topology::edge_count() const noexcept {
   return deg_sum / 2;
 }
 
+std::vector<std::pair<std::size_t, std::size_t>> Topology::edges() const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(edge_count());
+  for (std::size_t i = 0; i < n_; ++i)
+    for (const std::size_t j : adj_[i])
+      if (i < j) out.emplace_back(i, j);
+  return out;
+}
+
 }  // namespace econcast::model

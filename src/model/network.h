@@ -42,6 +42,10 @@ class Topology {
   bool is_clique() const noexcept;
   bool is_connected() const;
   std::size_t edge_count() const noexcept;
+  /// Every undirected edge once, as (i, j) pairs with i < j in ascending
+  /// order — the inverse of from_edges up to edge ordering (serializers and
+  /// edge-list sweep builders rely on this canonical form).
+  std::vector<std::pair<std::size_t, std::size_t>> edges() const;
 
  private:
   explicit Topology(std::size_t n);

@@ -60,6 +60,16 @@ NodeSet sample_heterogeneous(std::size_t n, double h, util::Rng& rng) {
   return nodes;
 }
 
+std::vector<NodeSet> sample_heterogeneous_batch(std::size_t n, double h,
+                                                std::size_t count,
+                                                util::Rng& rng) {
+  std::vector<NodeSet> sets;
+  sets.reserve(count);
+  for (std::size_t r = 0; r < count; ++r)
+    sets.push_back(sample_heterogeneous(n, h, rng));
+  return sets;
+}
+
 void validate(const NodeSet& nodes) {
   if (nodes.empty()) throw std::invalid_argument("empty NodeSet");
   for (const auto& p : nodes) p.validate();

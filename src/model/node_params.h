@@ -42,6 +42,15 @@ bool is_homogeneous(const NodeSet& nodes, double tol = 1e-12);
 /// Returned values are in µW.
 NodeSet sample_heterogeneous(std::size_t n, double h, util::Rng& rng);
 
+/// `count` consecutive §VII-B networks drawn from one stream — the named,
+/// manifest-addressable form of the sampler. Element r is exactly the r-th
+/// network a serial sampling loop over `rng` would see, so sweeps that pair
+/// cells on (h, replicate) reproduce a serial paired-sampling design network
+/// for network (runner::SweepSpec's "sampled" node-set kind relies on this).
+std::vector<NodeSet> sample_heterogeneous_batch(std::size_t n, double h,
+                                                std::size_t count,
+                                                util::Rng& rng);
+
 /// Validates every node in the set.
 void validate(const NodeSet& nodes);
 

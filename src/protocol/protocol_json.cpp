@@ -1,5 +1,6 @@
 #include "protocol/protocol_json.h"
 
+#include <cmath>
 #include <utility>
 
 namespace econcast::protocol {
@@ -17,6 +18,15 @@ using util::json::Value;
 double num(const Object& o, const std::string& key, double fallback) {
   const Value* v = o.find(key);
   return v ? v->as_number() : fallback;
+}
+
+/// Measured SimResult metrics may legitimately be non-finite, and the writer
+/// encodes those as null (see util::json::dump) — so the metric decode maps
+/// null back to NaN. Config/spec fields keep the strict num() above: there a
+/// null is corruption and must fail loudly, not load as NaN.
+double metric(const Object& o, const std::string& key, double fallback) {
+  const Value* v = o.find(key);
+  return v ? v->as_number_or_nan() : fallback;
 }
 
 bool flag(const Object& o, const std::string& key, bool fallback) {
@@ -47,6 +57,14 @@ std::vector<double> doubles_from_json(const Value& v) {
   std::vector<double> out;
   out.reserve(v.as_array().size());
   for (const Value& x : v.as_array()) out.push_back(x.as_number());
+  return out;
+}
+
+/// Lenient array decode for per-node metric vectors (null → NaN).
+std::vector<double> metrics_from_json(const Value& v) {
+  std::vector<double> out;
+  out.reserve(v.as_array().size());
+  for (const Value& x : v.as_array()) out.push_back(x.as_number_or_nan());
   return out;
 }
 
@@ -249,6 +267,28 @@ ProtocolParams params_from_json(const std::string& name, const Object& o) {
   throw Error("protocol '" + name + "' has no JSON parameter codec");
 }
 
+/// Rejects non-finite numbers anywhere in an encoded parameter tree. Specs
+/// decode strictly (null there is corruption), so letting dump's
+/// NaN-as-null encoding into a spec would write a manifest the tool itself
+/// cannot reload; fail at the write, next to the cause.
+void require_finite_params(const Value& v, const std::string& name) {
+  switch (v.kind()) {
+    case Value::Kind::kNumber:
+      if (!std::isfinite(v.as_number()))
+        throw Error("protocol '" + name +
+                    "': parameters contain a non-finite value");
+      break;
+    case Value::Kind::kArray:
+      for (const Value& x : v.as_array()) require_finite_params(x, name);
+      break;
+    case Value::Kind::kObject:
+      for (const auto& [key, x] : v.as_object().members())
+        require_finite_params(x, name);
+      break;
+    default: break;
+  }
+}
+
 /// The serializable protocol names, paired with the variant alternative
 /// each one expects — used to reject name/params mismatches on write.
 bool params_match_name(const std::string& name, const ProtocolParams& params) {
@@ -283,10 +323,12 @@ Value to_json(const ProtocolSpec& spec) {
     throw Error("protocol '" + spec.name +
                 "' is not JSON-serializable (custom protocol, or params do "
                 "not match the name)");
+  Value params = params_to_json(spec.params);
+  require_finite_params(params, spec.name);
   Object o;
   o.set("name", spec.name)
       .set("seed", util::json::u64_to_string(spec.seed))
-      .set("params", params_to_json(spec.params));
+      .set("params", std::move(params));
   return Value(std::move(o));
 }
 
@@ -303,6 +345,15 @@ ProtocolSpec spec_from_json(const Value& value) {
 }
 
 Value to_json(const SimResult& result) {
+  // Latencies live in a SampleSet whose percentile/cdf queries sort, and
+  // NaN breaks strict weak ordering — so the latency wire format carries
+  // finite samples only, symmetric with the decode below. Scalar metrics
+  // keep the null encoding instead (they are never sorted).
+  Array latencies;
+  latencies.reserve(result.latencies.samples().size());
+  for (const double x : result.latencies.samples())
+    if (std::isfinite(x)) latencies.emplace_back(x);
+
   Object bursts;
   bursts.set("count",
              Value(static_cast<double>(result.burst_lengths.count())))
@@ -320,7 +371,7 @@ Value to_json(const SimResult& result) {
       .set("listen_fraction", doubles_to_json(result.listen_fraction))
       .set("transmit_fraction", doubles_to_json(result.transmit_fraction))
       .set("burst_lengths", std::move(bursts))
-      .set("latencies", doubles_to_json(result.latencies.samples()))
+      .set("latencies", std::move(latencies))
       .set("packets_sent", util::json::u64_to_string(result.packets_sent))
       .set("packets_received",
            util::json::u64_to_string(result.packets_received))
@@ -331,27 +382,36 @@ Value to_json(const SimResult& result) {
 SimResult sim_result_from_json(const Value& value) {
   const Object& o = value.as_object();
   SimResult r;
-  r.measured_window = num(o, "measured_window", 0.0);
-  r.groupput = num(o, "groupput", 0.0);
-  r.anyput = num(o, "anyput", 0.0);
-  if (const Value* v = o.find("avg_power")) r.avg_power = doubles_from_json(*v);
+  r.measured_window = metric(o, "measured_window", 0.0);
+  r.groupput = metric(o, "groupput", 0.0);
+  r.anyput = metric(o, "anyput", 0.0);
+  if (const Value* v = o.find("avg_power")) r.avg_power = metrics_from_json(*v);
   if (const Value* v = o.find("listen_fraction"))
-    r.listen_fraction = doubles_from_json(*v);
+    r.listen_fraction = metrics_from_json(*v);
   if (const Value* v = o.find("transmit_fraction"))
-    r.transmit_fraction = doubles_from_json(*v);
+    r.transmit_fraction = metrics_from_json(*v);
   if (const Value* v = o.find("burst_lengths")) {
     const Object& b = v->as_object();
+    // count stays strict: it is integral by construction, and a null here
+    // would otherwise reach a double-to-size_t cast as NaN (UB).
     r.burst_lengths = util::RunningStats::restore(
-        static_cast<std::size_t>(num(b, "count", 0.0)), num(b, "mean", 0.0),
-        num(b, "m2", 0.0), num(b, "min", 0.0), num(b, "max", 0.0));
+        static_cast<std::size_t>(num(b, "count", 0.0)),
+        metric(b, "mean", 0.0), metric(b, "m2", 0.0), metric(b, "min", 0.0),
+        metric(b, "max", 0.0));
   }
   if (const Value* v = o.find("latencies"))
-    for (const Value& x : v->as_array()) r.latencies.add(x.as_number());
+    for (const Value& x : v->as_array()) {
+      // The writer never emits non-finite latencies (see to_json); dropping
+      // any that appear keeps a hand-edited file from planting NaN in a
+      // container whose sort-based queries NaN would break.
+      const double latency = x.as_number_or_nan();
+      if (std::isfinite(latency)) r.latencies.add(latency);
+    }
   r.packets_sent = u64(o, "packets_sent", 0);
   r.packets_received = u64(o, "packets_received", 0);
   if (const Value* v = o.find("extras"))
     for (const auto& [key, x] : v->as_object().members())
-      r.extras[key] = x.as_number();
+      r.extras[key] = x.as_number_or_nan();
   return r;
 }
 

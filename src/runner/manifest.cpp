@@ -1,5 +1,6 @@
 #include "runner/manifest.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -18,7 +19,107 @@ using util::json::Object;
 using util::json::Value;
 
 constexpr const char* kManifestFormat = "econcast-sweep-manifest";
-constexpr int kManifestVersion = 1;
+/// Version 1: homogeneous node sets, named topology kinds, "version" key.
+/// Version 2: "schema_version" key, node_set objects ("sampled" kind with an
+/// h axis + sampling seed) and "edge_list" topology objects.
+constexpr int kSchemaVersion = 2;
+
+/// Checked decode of a JSON number used as a count or index: a negative or
+/// fractional value must become a named parse error, not a silent
+/// double-to-size_t cast (UB for negatives) feeding an n×n allocation.
+std::size_t size_from_json(const Value& value, const char* what) {
+  const double v = value.as_number();
+  constexpr double kMax = 4294967295.0;  // 2^32 - 1: far beyond any sweep
+  if (!(v >= 0.0) || v > kMax || v != std::floor(v))
+    throw Error(std::string(what) + " must be a non-negative integer, got " +
+                util::json::format_double(v));
+  return static_cast<std::size_t>(v);
+}
+
+// Shared [[i, j], ...] edge-array codec for the SweepSpec topology form and
+// the Scenario topology — one place owns the wire format.
+
+Value edges_to_json(const EdgeList& edges) {
+  Array out;
+  out.reserve(edges.size());
+  for (const auto& [i, j] : edges)
+    out.emplace_back(Array{Value(static_cast<double>(i)),
+                           Value(static_cast<double>(j))});
+  return Value(std::move(out));
+}
+
+EdgeList edges_from_json(const Value& value) {
+  EdgeList edges;
+  edges.reserve(value.as_array().size());
+  for (const Value& e : value.as_array()) {
+    const Array& pair = e.as_array();
+    if (pair.size() != 2) throw Error("topology edge must be a [i, j] pair");
+    edges.emplace_back(size_from_json(pair[0], "edge endpoint"),
+                       size_from_json(pair[1], "edge endpoint"));
+  }
+  return edges;
+}
+
+Value topology_to_json(const SweepSpec& spec) {
+  if (spec.topology_kind() != "edge_list") return Value(spec.topology_kind());
+  Object o;
+  o.set("kind", "edge_list")
+      .set("n", static_cast<double>(spec.edge_list_nodes()))
+      .set("edges", edges_to_json(spec.edge_list()));
+  return Value(std::move(o));
+}
+
+void topology_from_json(const Value& value, SweepSpec& spec) {
+  if (value.is_string()) {
+    spec.topology(value.as_string());
+    return;
+  }
+  const Object& o = value.as_object();
+  const std::string& kind = o.at("kind").as_string();
+  if (kind != "edge_list") {
+    // Named kinds are also accepted in object form ({"kind": "grid"});
+    // unknown kinds fail in the setter with the kind named.
+    spec.topology(kind);
+    return;
+  }
+  const std::size_t n = size_from_json(o.at("n"), "edge_list node count");
+  spec.topology(n, edges_from_json(o.at("edges")));
+}
+
+Value node_set_to_json(const SweepSpec& spec) {
+  if (spec.node_set_kind() != "sampled") return Value(spec.node_set_kind());
+  Array h;
+  h.reserve(spec.heterogeneity_axis().size());
+  for (const double v : spec.heterogeneity_axis()) h.emplace_back(v);
+  Object o;
+  o.set("kind", "sampled")
+      .set("h", std::move(h))
+      .set("sample_seed", util::json::u64_to_string(spec.sample_seed()));
+  return Value(std::move(o));
+}
+
+void node_set_from_json(const Value& value, SweepSpec& spec) {
+  if (value.is_string()) {
+    // The string form covers the kinds that need no parameters; the setter
+    // rejects unknown kinds (and "sampled", which needs the object form).
+    spec.node_set(value.as_string());
+    return;
+  }
+  const Object& o = value.as_object();
+  const std::string& kind = o.at("kind").as_string();
+  if (kind != "sampled") {
+    spec.node_set(kind);
+    return;
+  }
+  std::vector<double> h_values;
+  for (const Value& h : o.at("h").as_array())
+    h_values.push_back(h.as_number());
+  // Required, like "h": sampled networks must derive from the manifest
+  // alone, so a lost seed is corruption, not something to default away.
+  spec.sampled_node_set(
+      std::move(h_values),
+      util::json::u64_from_string(o.at("sample_seed").as_string()));
+}
 
 }  // namespace
 
@@ -47,6 +148,7 @@ Value to_json(const SweepSpec& spec) {
   if (spec.node_set_kind().empty())
     throw Error("sweep '" + spec.name() +
                 "' uses a custom node-set function and cannot be serialized");
+  spec.validate();
 
   Array protocols;
   for (const protocol::ProtocolSpec& p : spec.protocol_axis())
@@ -70,8 +172,8 @@ Value to_json(const SweepSpec& spec) {
       .set("powers", std::move(powers))
       .set("sigmas", std::move(sigmas))
       .set("replicates", static_cast<double>(spec.replicate_count()))
-      .set("topology", spec.topology_kind())
-      .set("node_set", spec.node_set_kind());
+      .set("topology", topology_to_json(spec))
+      .set("node_set", node_set_to_json(spec));
   return Value(std::move(o));
 }
 
@@ -94,7 +196,7 @@ SweepSpec sweep_spec_from_json(const Value& value) {
   if (const Value* v = o.find("node_counts")) {
     std::vector<std::size_t> counts;
     for (const Value& n : v->as_array())
-      counts.push_back(static_cast<std::size_t>(n.as_number()));
+      counts.push_back(size_from_json(n, "node count"));
     spec.node_counts(std::move(counts));
   }
   if (const Value* v = o.find("powers")) {
@@ -109,17 +211,22 @@ SweepSpec sweep_spec_from_json(const Value& value) {
     spec.sigmas(std::move(sigmas));
   }
   if (const Value* v = o.find("replicates"))
-    spec.replicates(static_cast<std::size_t>(v->as_number()));
-  if (const Value* v = o.find("topology")) spec.topology(v->as_string());
-  if (const Value* v = o.find("node_set")) {
-    if (v->as_string() != "homogeneous")
-      throw Error("unknown node_set kind '" + v->as_string() +
-                  "' (only \"homogeneous\" is serializable)");
-  }
+    spec.replicates(size_from_json(*v, "replicates"));
+  if (const Value* v = o.find("topology")) topology_from_json(*v, spec);
+  if (const Value* v = o.find("node_set")) node_set_from_json(*v, spec);
+  // Cross-axis checks run here, at parse time, so e.g. a "grid" sweep with a
+  // non-square node count is rejected with the offending count named instead
+  // of surfacing later from expand().
+  spec.validate();
   return spec;
 }
 
 Value to_json(const Scenario& scenario) {
+  // The round-trip contract is exact re-simulation, which requires the
+  // finite, positive node parameters the simulators themselves demand —
+  // and a non-finite value would serialize as null and fail only at
+  // reload. Reject it here, at the write.
+  model::validate(scenario.nodes);
   Array nodes;
   nodes.reserve(scenario.nodes.size());
   for (const model::NodeParams& n : scenario.nodes) {
@@ -130,20 +237,13 @@ Value to_json(const Scenario& scenario) {
     nodes.emplace_back(std::move(node));
   }
 
-  Array edges;
-  const model::Topology& topo = scenario.topology;
-  for (std::size_t i = 0; i < topo.size(); ++i)
-    for (const std::size_t j : topo.neighbors(i))
-      if (i < j)
-        edges.emplace_back(Array{Value(static_cast<double>(i)),
-                                 Value(static_cast<double>(j))});
-
   Object o;
   o.set("name", scenario.name)
       .set("nodes", std::move(nodes))
-      .set("topology", Object{}
-                           .set("n", static_cast<double>(topo.size()))
-                           .set("edges", std::move(edges)))
+      .set("topology",
+           Object{}
+               .set("n", static_cast<double>(scenario.topology.size()))
+               .set("edges", edges_to_json(scenario.topology.edges())))
       .set("protocol", protocol::to_json(scenario.protocol));
   return Value(std::move(o));
 }
@@ -160,24 +260,19 @@ Scenario scenario_from_json(const Value& value) {
   }
 
   const Object& topo = o.at("topology").as_object();
-  const auto n = static_cast<std::size_t>(topo.at("n").as_number());
-  std::vector<std::pair<std::size_t, std::size_t>> edges;
-  for (const Value& e : topo.at("edges").as_array()) {
-    const Array& pair = e.as_array();
-    if (pair.size() != 2) throw Error("topology edge must be a [i, j] pair");
-    edges.emplace_back(static_cast<std::size_t>(pair[0].as_number()),
-                       static_cast<std::size_t>(pair[1].as_number()));
-  }
+  const std::size_t n = size_from_json(topo.at("n"), "topology node count");
 
   return Scenario{o.at("name").as_string(), std::move(nodes),
-                  model::Topology::from_edges(n, edges),
+                  model::Topology::from_edges(n,
+                                              edges_from_json(
+                                                  topo.at("edges"))),
                   protocol::spec_from_json(o.at("protocol"))};
 }
 
 Value to_json(const SweepManifest& manifest) {
   Object o;
   o.set("format", kManifestFormat)
-      .set("version", kManifestVersion)
+      .set("schema_version", kSchemaVersion)
       .set("sweep", to_json(manifest.spec))
       .set("runner", Object{}
                          .set("base_seed",
@@ -193,12 +288,21 @@ SweepManifest manifest_from_json(const Value& value) {
       throw Error("not a sweep manifest (format '" + format->as_string() +
                   "')");
   }
-  if (const Value* version = o.find("version")) {
-    if (version->as_number() > kManifestVersion)
-      throw Error("manifest version " +
-                  util::json::format_double(version->as_number()) +
-                  " is newer than this build understands");
-  }
+  // "schema_version" is the current key; version-1 files wrote "version".
+  // Anything this build does not understand — newer, fractional, absent, or
+  // simply unknown — is rejected before any field is interpreted, so a
+  // manifest from a future schema (or one whose version key was renamed
+  // again) never half-parses into the wrong sweep.
+  const Value* version = o.find("schema_version");
+  if (version == nullptr) version = o.find("version");
+  if (version == nullptr)
+    throw Error("manifest has no schema_version (this build writes " +
+                std::to_string(kSchemaVersion) + ")");
+  const double v = version->as_number();
+  if (v != 1.0 && v != static_cast<double>(kSchemaVersion))
+    throw Error("manifest schema_version " + util::json::format_double(v) +
+                " is not understood by this build (supported: 1.." +
+                std::to_string(kSchemaVersion) + ")");
   SweepManifest manifest(sweep_spec_from_json(o.at("sweep")));
   if (const Value* runner = o.find("runner")) {
     const Object& r = runner->as_object();

@@ -5,9 +5,16 @@
 // (runner/sweep_session.h).
 //
 // Serializable specs are the declarative subset: named topology kinds
-// ("clique"/"line"/"ring"/"grid") and homogeneous node sets. Installing a
+// ("clique"/"line"/"ring"/"grid"), explicit "edge_list" graphs, and the
+// named node-set kinds ("homogeneous", and "sampled" — the §VII-B
+// heterogeneity process with its h axis and sampling seed). Installing a
 // custom topology/node-set std::function on a SweepSpec makes to_json throw
 // — those sweeps stay code.
+//
+// Manifests carry a schema_version (currently 2; version 1 files, which
+// predate node-set objects and edge lists, still load). Unknown versions
+// are rejected up front so a newer manifest never half-parses into the
+// wrong sweep.
 //
 // Scenario round-trips are exact: nodes, topology edges and the
 // ProtocolSpec all survive, so scenario_from_json(to_json(s)) runs

@@ -9,15 +9,21 @@
 // analytic baselines and custom protocols in a single batch.
 //
 // Expansion order (fixed, documented, and relied on by cell_index):
-//   protocol (outermost) → mode → node count → power point → σ → replicate.
+//   protocol (outermost) → mode → node count → power point → heterogeneity h
+//   → σ → replicate.
 // Axes left unset contribute their single default value, so the expansion —
 // and therefore every scenario's derived seed — depends only on the spec.
+// The heterogeneity axis exists only for the "sampled" node-set kind (the
+// paper's Fig. 2 x-axis); for every other node-set kind it stays at its
+// single default value and contributes nothing to cell names.
 #ifndef ECONCAST_RUNNER_SWEEP_SPEC_H
 #define ECONCAST_RUNNER_SWEEP_SPEC_H
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "model/network.h"
@@ -40,6 +46,10 @@ struct PowerPoint {
 std::vector<PowerPoint> power_ratio_axis(const std::vector<double>& ratios,
                                          double budget, double total);
 
+/// An undirected graph as data: node count + edge list. The serializable
+/// topology form for graphs that no named kind covers.
+using EdgeList = std::vector<std::pair<std::size_t, std::size_t>>;
+
 class SweepSpec {
  public:
   explicit SweepSpec(std::string name);
@@ -59,15 +69,42 @@ class SweepSpec {
 
   /// Topology by name — the serializable form used by sweep manifests:
   /// "clique", "line", "ring", or "grid" (square grids; node counts must be
-  /// perfect squares). Throws std::invalid_argument for unknown kinds.
+  /// perfect squares — validate() checks). Throws std::invalid_argument for
+  /// unknown kinds.
   SweepSpec& topology(const std::string& kind);
+
+  /// Explicit graph topology ("edge_list" kind): every cell runs on exactly
+  /// this graph, so the node-count axis must be the single value `n`
+  /// (validate() checks). Throws std::invalid_argument on bad edges.
+  SweepSpec& topology(std::size_t n, EdgeList edges);
 
   /// Node sets as a function of (node count, power point); the default is
   /// model::homogeneous. Lets sweeps use heterogeneous populations while
   /// keeping the N and power axes meaningful. A custom function makes the
-  /// spec non-serializable.
+  /// spec non-serializable and resets the heterogeneity axis.
   SweepSpec& node_set(
       std::function<model::NodeSet(std::size_t, const PowerPoint&)> make);
+
+  /// Node-set generator by name — the serializable form: "homogeneous"
+  /// (which also resets the heterogeneity axis). The "sampled" kind needs
+  /// its h axis and seed, so it is set via sampled_node_set. Throws
+  /// std::invalid_argument for unknown kinds.
+  SweepSpec& node_set(const std::string& kind);
+
+  /// The §VII-B heterogeneous sampling process as a node-set generator
+  /// (kind "sampled") with `h_values` as a sweep axis (each in [10, 250])
+  /// and `sample_seed` as the sampling seed. For every (node count, power,
+  /// h) the networks of all replicates are drawn from one Rng stream seeded
+  /// with derive_seed(sample_seed, (uint64_t)h), replicate r taking the r-th
+  /// draw. Every (protocol, mode, σ) cell therefore sees the identical
+  /// network at a given (h, replicate) — the paired-sampling design of the
+  /// paper's Fig. 2, which keeps σ comparisons free of sampling noise. The
+  /// stream key truncates h to an integer, so non-integral h values closer
+  /// than 1 apart would share a stream; the paper's h grid is integral.
+  /// Sampled networks take every node parameter from the draw, so the power
+  /// axis must stay at its single entry (validate() rejects more).
+  SweepSpec& sampled_node_set(std::vector<double> h_values,
+                              std::uint64_t sample_seed);
 
   // Accessors for the serialization layer (runner/manifest.h).
   const std::string& name() const noexcept { return name_; }
@@ -82,12 +119,31 @@ class SweepSpec {
     return powers_;
   }
   const std::vector<double>& sigma_axis() const noexcept { return sigmas_; }
+  /// The heterogeneity axis; the single degenerate value {10} unless the
+  /// node-set kind is "sampled".
+  const std::vector<double>& heterogeneity_axis() const noexcept {
+    return heterogeneity_;
+  }
+  /// Seed of the "sampled" node-set generator (meaningless otherwise).
+  std::uint64_t sample_seed() const noexcept { return sample_seed_; }
   std::size_t replicate_count() const noexcept { return replicates_; }
-  /// The named topology kind ("clique" when defaulted), or "" when a custom
-  /// topology function was installed — such specs cannot be serialized.
+  /// The named topology kind ("clique" when defaulted, "edge_list" for an
+  /// explicit graph), or "" when a custom topology function was installed —
+  /// such specs cannot be serialized.
   const std::string& topology_kind() const noexcept { return topology_kind_; }
-  /// "homogeneous" (the default), or "" for a custom node-set function.
+  /// Node count and edges of an "edge_list" topology (empty otherwise).
+  std::size_t edge_list_nodes() const noexcept { return edge_list_nodes_; }
+  const EdgeList& edge_list() const noexcept { return edge_list_; }
+  /// "homogeneous" (the default) or "sampled"; "" for a custom node-set
+  /// function — such specs cannot be serialized.
   const std::string& node_set_kind() const noexcept { return node_set_kind_; }
+
+  /// Cross-axis consistency checks that individual setters cannot make
+  /// (setter order is free): "grid" requires perfect-square node counts,
+  /// "edge_list" requires the single node count it was built for, "sampled"
+  /// requires h ∈ [10, 250]. Throws std::invalid_argument naming the
+  /// offending value; called by expand() and the manifest codec.
+  void validate() const;
 
   std::size_t cell_count() const noexcept;
 
@@ -95,14 +151,15 @@ class SweepSpec {
   /// index into the respective axes; out-of-range indices throw.
   std::size_t cell_index(std::size_t protocol_i, std::size_t mode_i = 0,
                          std::size_t node_i = 0, std::size_t power_i = 0,
-                         std::size_t sigma_i = 0,
+                         std::size_t h_i = 0, std::size_t sigma_i = 0,
                          std::size_t replicate = 0) const;
 
   /// Expands the cross-product into scenarios. Mode and σ axes are applied
   /// to each protocol's parameters via protocol::specialized (protocols
   /// without those knobs, e.g. Panda, run identically across those axes).
   /// Scenario names encode every axis value:
-  ///   <sweep>/<protocol>/<mode>/N<n>/rho<ρ>_L<L>_X<X>/s<σ>[/r<k>]
+  ///   <sweep>/<protocol>/<mode>/N<n>/rho<ρ>_L<L>_X<X>[/h<h>]/s<σ>[/r<k>]
+  /// (the /h component appears only for the "sampled" node-set kind).
   std::vector<Scenario> expand() const;
 
  private:
@@ -117,6 +174,12 @@ class SweepSpec {
   std::function<model::NodeSet(std::size_t, const PowerPoint&)> node_set_;
   std::string topology_kind_ = "clique";
   std::string node_set_kind_ = "homogeneous";
+  /// Degenerate single-h axis unless node_set_kind_ == "sampled". 10 is the
+  /// paper's "no heterogeneity" point (§VII-B: h = 10 is homogeneous).
+  std::vector<double> heterogeneity_{10.0};
+  std::uint64_t sample_seed_ = 1;
+  std::size_t edge_list_nodes_ = 0;
+  EdgeList edge_list_;
 };
 
 }  // namespace econcast::runner

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 namespace econcast::util::json {
 
@@ -69,6 +70,11 @@ bool Value::as_bool() const {
 double Value::as_number() const {
   if (const auto* d = std::get_if<double>(&data_)) return *d;
   kind_error("number", kind());
+}
+
+double Value::as_number_or_nan() const {
+  if (is_null()) return std::numeric_limits<double>::quiet_NaN();
+  return as_number();
 }
 
 const std::string& Value::as_string() const {
@@ -393,7 +399,13 @@ void dump_value(const Value& v, int indent, int depth, std::string& out) {
   switch (v.kind()) {
     case Value::Kind::kNull: out += "null"; break;
     case Value::Kind::kBool: out += v.as_bool() ? "true" : "false"; break;
-    case Value::Kind::kNumber: out += format_double(v.as_number()); break;
+    case Value::Kind::kNumber: {
+      // JSON has no NaN/Inf; encode them as null (decoders use
+      // as_number_or_nan) instead of aborting a mid-sweep checkpoint write.
+      const double d = v.as_number();
+      out += std::isfinite(d) ? format_double(d) : "null";
+      break;
+    }
     case Value::Kind::kString: dump_string(v.as_string(), out); break;
     case Value::Kind::kArray: {
       const Array& a = v.as_array();

@@ -82,6 +82,9 @@ class Value {
   // Checked accessors; Error on kind mismatch.
   bool as_bool() const;
   double as_number() const;
+  /// as_number(), except null decodes to NaN — the reader side of the
+  /// writer's non-finite-numbers-as-null encoding (see dump).
+  double as_number_or_nan() const;
   const std::string& as_string() const;
   const Array& as_array() const;
   const Object& as_object() const;
@@ -106,12 +109,15 @@ Value parse(std::string_view text);
 
 /// Serializes. indent < 0 gives the compact single-line form used for JSONL
 /// checkpoint records; indent >= 0 pretty-prints with that many spaces per
-/// level. Throws Error on NaN/Inf (not representable in JSON).
+/// level. Non-finite numbers (which JSON cannot represent) are written as
+/// null — a simulation result with a NaN metric must not abort a streaming
+/// checkpoint write mid-sweep; decode such fields with as_number_or_nan.
 std::string dump(const Value& value, int indent = -1);
 
 /// Shortest decimal string that strtod parses back to exactly `d` (tries
 /// %.15g, %.16g, %.17g). Integral values within 2^53 print without exponent
-/// or decimal point. Deterministic for a given double.
+/// or decimal point. Deterministic for a given double. Throws Error on
+/// NaN/Inf — only dump applies the null encoding.
 std::string format_double(double d);
 
 /// Decimal-string codec for full-range 64-bit values (seeds).

@@ -117,6 +117,26 @@ TEST(Json, NumbersSurviveDumpParse) {
   }
 }
 
+TEST(Json, NonFiniteNumbersDumpAsNull) {
+  // JSON cannot carry NaN/Inf; the writer encodes them as null so a
+  // streaming checkpoint write never aborts mid-sweep, and the reader side
+  // (as_number_or_nan) brings them back as NaN.
+  EXPECT_EQ(json::dump(Value(NAN)), "null");
+  EXPECT_EQ(json::dump(Value(INFINITY)), "null");
+  EXPECT_EQ(json::dump(Value(-INFINITY)), "null");
+  json::Object o;
+  o.set("ok", 1.5).set("bad", NAN);
+  EXPECT_EQ(json::dump(Value(o)), R"({"ok":1.5,"bad":null})");
+
+  const Value back = json::parse(json::dump(Value(o)));
+  EXPECT_TRUE(std::isnan(back.at("bad").as_number_or_nan()));
+  EXPECT_EQ(back.at("ok").as_number_or_nan(), 1.5);
+  EXPECT_THROW(back.at("bad").as_number(), json::Error);  // strict form
+  EXPECT_THROW(json::parse("\"x\"").as_number_or_nan(), json::Error);
+  // The round trip is byte-stable: null re-dumps as null.
+  EXPECT_EQ(json::dump(back), R"({"ok":1.5,"bad":null})");
+}
+
 TEST(Json, U64StringCodec) {
   EXPECT_EQ(json::u64_to_string(0), "0");
   EXPECT_EQ(json::u64_from_string("0"), 0u);

@@ -9,9 +9,11 @@
 //    uninterrupted run.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -226,6 +228,189 @@ TEST(ManifestJson, SweepSpecReExpandsIdentically) {
   }
 }
 
+TEST(ManifestJson, HeterogeneousSweepRoundTripsBitIdentically) {
+  // The schema-v2 node_set object: a sampled sweep must re-expand to the
+  // exact same batch — names, sampled node parameters (bitwise), protocols.
+  const runner::SweepSpec spec =
+      runner::SweepSpec("fig2-like")
+          .protocols({protocol::p4_spec(model::Mode::kGroupput, 0.5),
+                      protocol::oracle_spec(model::Mode::kGroupput)})
+          .modes({model::Mode::kGroupput, model::Mode::kAnyput})
+          .sigmas({0.1, 0.5})
+          .replicates(2)
+          .sampled_node_set({10.0, 150.0, 250.0}, 0xF162000);
+
+  const runner::SweepSpec back = runner::sweep_spec_from_json(
+      json::parse(json::dump(runner::to_json(spec))));
+  EXPECT_EQ(back.node_set_kind(), "sampled");
+  EXPECT_EQ(back.sample_seed(), 0xF162000u);
+  EXPECT_EQ(back.heterogeneity_axis(), spec.heterogeneity_axis());
+  EXPECT_EQ(back.cell_count(), spec.cell_count());
+
+  const std::vector<runner::Scenario> a = spec.expand();
+  const std::vector<runner::Scenario> b = back.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].name, b[i].name);
+    ASSERT_EQ(a[i].nodes.size(), b[i].nodes.size());
+    for (std::size_t k = 0; k < a[i].nodes.size(); ++k) {
+      EXPECT_EQ(a[i].nodes[k].budget, b[i].nodes[k].budget);
+      EXPECT_EQ(a[i].nodes[k].listen_power, b[i].nodes[k].listen_power);
+      EXPECT_EQ(a[i].nodes[k].transmit_power, b[i].nodes[k].transmit_power);
+    }
+    EXPECT_EQ(json::dump(protocol::to_json(a[i].protocol)),
+              json::dump(protocol::to_json(b[i].protocol)));
+  }
+}
+
+TEST(ManifestJson, EdgeListTopologyRoundTripsBitIdentically) {
+  const runner::EdgeList edges{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {1, 2}};
+  proto::SimConfig cfg;
+  cfg.duration = 3e3;
+  const runner::SweepSpec spec =
+      runner::SweepSpec("graph")
+          .protocols({protocol::econcast_spec(cfg)})
+          .node_counts({4})
+          .sigmas({0.25, 0.5})
+          .topology(4, edges);
+
+  const runner::SweepSpec back = runner::sweep_spec_from_json(
+      json::parse(json::dump(runner::to_json(spec))));
+  EXPECT_EQ(back.topology_kind(), "edge_list");
+  EXPECT_EQ(back.edge_list_nodes(), 4u);
+  EXPECT_EQ(back.edge_list(), edges);
+
+  const std::vector<runner::Scenario> a = spec.expand();
+  const std::vector<runner::Scenario> b = back.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    ASSERT_EQ(a[i].topology.size(), b[i].topology.size());
+    for (std::size_t v = 0; v < a[i].topology.size(); ++v)
+      EXPECT_EQ(a[i].topology.neighbors(v), b[i].topology.neighbors(v));
+  }
+  // Named kinds are also accepted in object form.
+  const runner::SweepSpec named = runner::sweep_spec_from_json(json::parse(
+      R"({"name":"obj","topology":{"kind":"ring"},"node_counts":[5]})"));
+  EXPECT_EQ(named.topology_kind(), "ring");
+}
+
+TEST(ManifestJson, RejectsUnknownSchemaVersions) {
+  const std::string sweep_body =
+      R"("sweep": {"name": "v", "node_counts": [4]})";
+  // Current and legacy version keys both load...
+  EXPECT_NO_THROW(runner::manifest_from_json(
+      json::parse("{\"schema_version\": 2, " + sweep_body + "}")));
+  EXPECT_NO_THROW(runner::manifest_from_json(
+      json::parse("{\"version\": 1, " + sweep_body + "}")));
+  // ...anything this build does not understand is rejected up front.
+  for (const char* version :
+       {"\"schema_version\": 3", "\"schema_version\": 1.5",
+        "\"version\": 99"}) {
+    SCOPED_TRACE(version);
+    EXPECT_THROW(runner::manifest_from_json(json::parse(
+                     "{" + std::string(version) + ", " + sweep_body + "}")),
+                 json::Error);
+  }
+  // A manifest with no version key at all is rejected too — a renamed
+  // version key must fail loudly, not parse under the wrong semantics.
+  EXPECT_THROW(
+      runner::manifest_from_json(json::parse("{" + sweep_body + "}")),
+      json::Error);
+}
+
+TEST(ManifestJson, RejectsUnknownNodeSetKinds) {
+  const auto sweep_with = [](const std::string& node_set) {
+    return json::parse(R"({"name": "x", "node_counts": [4], "node_set": )" +
+                       node_set + "}");
+  };
+  EXPECT_NO_THROW(runner::sweep_spec_from_json(sweep_with(R"("homogeneous")")));
+  EXPECT_THROW(runner::sweep_spec_from_json(sweep_with(R"("exotic")")),
+               std::invalid_argument);
+  EXPECT_THROW(runner::sweep_spec_from_json(
+                   sweep_with(R"({"kind": "exotic", "h": [10]})")),
+               std::invalid_argument);
+  // The string form of "sampled" lacks its parameters.
+  EXPECT_THROW(runner::sweep_spec_from_json(sweep_with(R"("sampled")")),
+               std::invalid_argument);
+  // The object form requires both the h axis and the sampling seed —
+  // sampled networks must derive from the manifest alone.
+  EXPECT_THROW(runner::sweep_spec_from_json(
+                   sweep_with(R"({"kind": "sampled"})")),
+               json::Error);
+  EXPECT_THROW(runner::sweep_spec_from_json(
+                   sweep_with(R"({"kind": "sampled", "h": [10, 50]})")),
+               json::Error);
+  // Non-finite spec values are caught at the write, next to the cause —
+  // they would otherwise serialize as null and fail only at reload.
+  EXPECT_THROW(
+      runner::to_json(runner::SweepSpec("nan-axis").sigmas(
+          {std::numeric_limits<double>::quiet_NaN()})),
+      std::invalid_argument);
+  EXPECT_THROW(
+      protocol::to_json(protocol::p4_spec(
+          model::Mode::kGroupput, std::numeric_limits<double>::quiet_NaN())),
+      json::Error);
+  // Counts and indices must be non-negative integers — a negative or
+  // fractional JSON number is a named parse error, not a silent cast.
+  for (const char* bad :
+       {R"({"name":"e","node_counts":[4],
+            "topology":{"kind":"edge_list","n":-1,"edges":[]}})",
+        R"({"name":"e","node_counts":[4],
+            "topology":{"kind":"edge_list","n":4,"edges":[[0,1.5]]}})",
+        R"({"name":"e","node_counts":[-4]})",
+        R"({"name":"e","node_counts":[4],"replicates":2.5})"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW(runner::sweep_spec_from_json(json::parse(bad)), json::Error);
+  }
+  // Grid axis compatibility surfaces at parse time, naming the offender.
+  try {
+    runner::sweep_spec_from_json(json::parse(
+        R"({"name": "g", "topology": "grid", "node_counts": [9, 11]})"));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("11"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ProtocolJson, NonFiniteResultFieldsSurviveAsNull) {
+  // A NaN/Inf metric must not abort the streaming checkpoint write: the
+  // writer encodes non-finite doubles as null and the reader brings them
+  // back as NaN, with the dump byte-stable across the round trip.
+  protocol::SimResult r;
+  r.groupput = std::numeric_limits<double>::quiet_NaN();
+  r.anyput = std::numeric_limits<double>::infinity();
+  r.avg_power = {1.0, std::numeric_limits<double>::quiet_NaN()};
+  r.extras["diverged"] = -std::numeric_limits<double>::infinity();
+  r.extras["fine"] = 0.5;
+
+  const std::string wire = json::dump(protocol::to_json(r));
+  EXPECT_NE(wire.find("\"groupput\":null"), std::string::npos) << wire;
+
+  const protocol::SimResult back =
+      protocol::sim_result_from_json(json::parse(wire));
+  EXPECT_TRUE(std::isnan(back.groupput));
+  EXPECT_TRUE(std::isnan(back.anyput));  // Inf is not representable: NaN
+  ASSERT_EQ(back.avg_power.size(), 2u);
+  EXPECT_EQ(back.avg_power[0], 1.0);
+  EXPECT_TRUE(std::isnan(back.avg_power[1]));
+  EXPECT_TRUE(std::isnan(back.extras.at("diverged")));
+  EXPECT_EQ(back.extras.at("fine"), 0.5);
+  EXPECT_EQ(json::dump(protocol::to_json(back)), wire);
+
+  // The leniency is for measured metrics only. Config/spec fields and
+  // integral counts stay strict — a null there is corruption, not an
+  // encoded NaN.
+  EXPECT_THROW(protocol::spec_from_json(json::parse(
+                   R"({"name": "econcast", "params": {"duration": null}})")),
+               json::Error);
+  EXPECT_THROW(protocol::sim_result_from_json(json::parse(
+                   R"({"burst_lengths": {"count": null}})")),
+               json::Error);
+}
+
 TEST(ManifestJson, CustomTopologyIsNotSerializable) {
   runner::SweepSpec spec("custom");
   spec.topology([](std::size_t n) { return model::Topology::line(n); });
@@ -337,6 +522,45 @@ TEST(SweepSession, TruncatedMidLineResumesByteIdentically) {
 
   runner::SweepSession resumed(manifest, (dir / "killed.jsonl").string());
   EXPECT_EQ(resumed.completed_cells(), 3u);  // partial 4th line dropped
+  resumed.run();
+  EXPECT_EQ(slurp(dir / "killed.jsonl"), reference);
+}
+
+TEST(SweepSession, SampledSweepKillResumeIsByteIdentical) {
+  // Kill/resume on the schema-v2 path: a heterogeneous (sampled node-set)
+  // sweep, chopped mid-record, must resume to a byte-identical results file
+  // — cell seeds and sampled networks both derive from the manifest alone.
+  const fs::path dir = test_dir();
+  proto::SimConfig cfg;
+  cfg.duration = 3e3;
+  cfg.warmup = 5e2;
+  const runner::SweepManifest manifest(
+      runner::SweepSpec("het-mini")
+          .protocols({protocol::econcast_spec(cfg),
+                      protocol::oracle_spec(model::Mode::kGroupput)})
+          .sigmas({0.5})
+          .replicates(2)
+          .sampled_node_set({10.0, 200.0}, 0xF162000),
+      /*seed=*/21, true);
+
+  runner::SweepSession full(manifest, (dir / "full.jsonl").string());
+  EXPECT_EQ(full.cell_count(), 8u);
+  full.run();
+  const std::string reference = slurp(dir / "full.jsonl");
+
+  {
+    runner::SweepSession part(manifest, (dir / "killed.jsonl").string());
+    part.run(3);
+  }
+  std::string bytes = slurp(dir / "killed.jsonl");
+  bytes.resize(bytes.size() - 7);  // mid-record kill
+  {
+    std::ofstream out(dir / "killed.jsonl",
+                      std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  runner::SweepSession resumed(manifest, (dir / "killed.jsonl").string());
+  EXPECT_EQ(resumed.completed_cells(), 2u);
   resumed.run();
   EXPECT_EQ(slurp(dir / "killed.jsonl"), reference);
 }

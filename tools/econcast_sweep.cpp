@@ -10,6 +10,7 @@
 // only the remaining cells execute — the final file is byte-identical to an
 // uninterrupted run. --limit N checkpoints after N new cells and exits,
 // which is how CI exercises the kill/resume path deterministically.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,11 +39,17 @@ namespace {
 }
 
 bool parse_size(const char* text, std::size_t& out) {
+  // strtoull alone is not enough here: it skips leading whitespace, accepts
+  // a sign ("-1" silently wraps to 2^64-1 — a huge --threads cap), and
+  // saturates on overflow with only errno raised. Require plain decimal
+  // digits and reject out-of-range values.
+  if (text[0] < '0' || text[0] > '9') return false;
+  errno = 0;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0') return false;
+  if (*end != '\0' || errno == ERANGE) return false;
   out = static_cast<std::size_t>(v);
-  return true;
+  return static_cast<unsigned long long>(out) == v;  // 32-bit size_t
 }
 
 }  // namespace

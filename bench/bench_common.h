@@ -14,10 +14,12 @@
 #include <filesystem>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "runner/scenario_runner.h"
 #include "runner/sweep_session.h"
+#include "sim/event_queue.h"
 
 namespace econcast::bench {
 
@@ -52,6 +54,29 @@ inline std::string flag(int argc, char** argv, const char* name,
       return std::string(argv[i] + len + 1);
   }
   return def;
+}
+
+/// Reads the event-queue backend from "--engine=binary-heap|calendar"
+/// (default: the reference heap). Backends cannot change the printed
+/// tables — pop order is a strict total order on (time, seq) — so this
+/// flag only trades wall-clock time, and CI diffs the tables across
+/// engines to prove it.
+inline sim::QueueEngine engine_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    // Benches only take '='-form flags; catch the space form instead of
+    // silently benchmarking the default backend.
+    if (std::strcmp(argv[i], "--engine") == 0) {
+      std::fprintf(stderr, "use --engine=NAME (flags take the '=' form)\n");
+      std::exit(2);
+    }
+  }
+  const std::string token = flag(argc, argv, "--engine", "binary-heap");
+  try {
+    return sim::queue_engine_from_token(token);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
 }
 
 /// Directory the sweep-shaped benches write manifests/results into:

@@ -23,7 +23,7 @@ namespace {
 using namespace econcast;
 
 runner::Scenario marker_scenario(std::size_t n, model::Mode mode, double sigma,
-                                 double duration) {
+                                 double duration, sim::QueueEngine engine) {
   const auto nodes = model::homogeneous(n, 10.0, 500.0, 500.0);
   const auto p4 = gibbs::solve_p4(nodes, mode, sigma);
   proto::SimConfig cfg;
@@ -33,6 +33,7 @@ runner::Scenario marker_scenario(std::size_t n, model::Mode mode, double sigma,
   cfg.warmup = duration * 0.1;
   cfg.adapt_multiplier = false;  // markers at the converged operating point
   cfg.eta_init = p4.eta;
+  cfg.queue_engine = engine;
   return runner::econcast_scenario("fig4", nodes, model::Topology::clique(n),
                                    cfg);
 }
@@ -42,6 +43,7 @@ runner::Scenario marker_scenario(std::size_t n, model::Mode mode, double sigma,
 int main(int argc, char** argv) {
   using namespace econcast;
   const long scale = bench::knob(argc, argv, 4);  // sim duration = scale * 1e6
+  const sim::QueueEngine engine = bench::engine_flag(argc, argv);
   bench::banner("Figure 4", "average burst length vs sigma (rho=10uW, L=X=500uW)");
 
   const double marker_sigmas[] = {0.25, 0.5};
@@ -53,7 +55,7 @@ int main(int argc, char** argv) {
   for (const model::Mode mode : {model::Mode::kGroupput, model::Mode::kAnyput}) {
     for (const double sigma : marker_sigmas) {
       for (const std::size_t n : marker_sizes) {
-        batch.push_back(marker_scenario(n, mode, sigma, duration));
+        batch.push_back(marker_scenario(n, mode, sigma, duration, engine));
       }
     }
   }

@@ -29,6 +29,7 @@
 int main(int argc, char** argv) {
   using namespace econcast;
   const long scale = bench::knob(argc, argv, 2);  // duration = scale * 1e6
+  const sim::QueueEngine engine = bench::engine_flag(argc, argv);
   bench::banner("Figure 6", "grid topologies: oracle T*_nc and simulated T~ (rho=10uW)");
 
   const std::vector<std::size_t> ks{2, 3, 4, 5, 6, 7, 8, 9, 10};
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
         cfg.seed = 66 + n;
         cfg.energy_guard = true;  // adaptive start from eta = 0
         cfg.initial_energy = 5e5;
+        cfg.queue_engine = engine;  // cannot change the table, only the clock
         const std::string name = "fig6-N" + std::to_string(n);
         const runner::SweepSpec sweep =
             runner::SweepSpec(name)

@@ -3,6 +3,9 @@
 // oracle, the event-queue substrate, and the event-driven simulator.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "econcast/simulation.h"
@@ -84,47 +87,97 @@ void BM_OracleGroupputLP(benchmark::State& state) {
 }
 BENCHMARK(BM_OracleGroupputLP)->Arg(5)->Arg(25)->Arg(100);
 
-// The event-queue push/pop cycle that dominates the simulator's inner loop.
-// Arg 0 is the number of live events (≈ 3-4 per node, so 256 ≈ the N = 64
-// regime); arg 1 toggles the up-front reserve so the reallocation churn the
-// reserve eliminates is measurable: each iteration fills the queue from
-// empty — the simulator's ramp-up — then runs a steady-state pop+push window
-// before draining.
+// The event-queue push/pop cycle that dominates the simulator's inner loop,
+// as a comparative backend benchmark. Arg 0 is the node count N (live
+// events ≈ 4N per EventQueue::capacity_for_nodes, so N = 64 is the fig. 6
+// regime the calendar backend targets); arg 1 selects the backend. The
+// queue is constructed and pre-reserved once, outside the timing loop, and
+// pre-filled to its steady-state population — so the measured region is
+// pure queue ops (the simulator's inner loop) rather than allocator churn.
+// Event times advance by exponential gaps, the simulator's arrival pattern.
 void BM_EventQueuePushPop(benchmark::State& state) {
-  const auto live = static_cast<std::size_t>(state.range(0));
-  const bool reserve = state.range(1) != 0;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto engine = static_cast<sim::QueueEngine>(state.range(1));
+  const std::size_t live = 4 * n;
   util::Rng rng(2024);
-  std::vector<double> times(4 * live);
-  for (double& t : times) t = rng.uniform();
-  std::uint64_t ops = 0;
+  constexpr std::size_t kGapMask = (1u << 12) - 1;
+  std::vector<double> gaps(kGapMask + 1);
+  for (double& g : gaps) g = rng.exponential(1.0);
+
+  sim::EventQueue q(engine);
+  q.reserve_for_nodes(n);
+  std::size_t g = 0;
+  for (std::size_t i = 0; i < live; ++i)
+    q.push(gaps[g++ & kGapMask], sim::EventKind::kTransition,
+           static_cast<std::uint32_t>(i % n));
+
+  double acc = 0.0;
   for (auto _ : state) {
-    sim::EventQueue q;
-    if (reserve) q.reserve(live);
-    std::size_t t = 0;
-    double acc = 0.0;
-    for (std::size_t i = 0; i < live; ++i)
-      q.push(times[t++ % times.size()], sim::EventKind::kTransition,
-             static_cast<std::uint32_t>(i));
-    for (std::size_t i = 0; i < 2 * live; ++i) {
+    for (std::size_t i = 0; i < live; ++i) {
       const sim::Event e = q.pop();
       acc += e.time;
-      q.push(e.time + times[t++ % times.size()], sim::EventKind::kTransition,
-             e.node);
+      q.push(e.time + gaps[g++ & kGapMask], e.kind, e.node);
     }
-    while (!q.empty()) acc += q.pop().time;
-    ops += 2 * (live + 2 * live);  // pushes + pops
     benchmark::DoNotOptimize(acc);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
-  state.SetLabel(reserve ? "reserved" : "unreserved");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * live));
+  state.SetLabel(std::string(sim::to_token(engine)) + " N=" +
+                 std::to_string(n));
 }
 BENCHMARK(BM_EventQueuePushPop)
-    ->Args({64, 0})
-    ->Args({64, 1})
-    ->Args({256, 0})
-    ->Args({256, 1})
-    ->Args({1024, 0})
-    ->Args({1024, 1});
+    ->ArgsProduct({{16, 64, 256, 1024},
+                   {static_cast<long>(sim::QueueEngine::kBinaryHeap),
+                    static_cast<long>(sim::QueueEngine::kCalendar)}});
+
+// The cancellation path: every op re-schedules a node's pending transition
+// (implicitly invalidating the previous one) and pops surface through the
+// stale-pruning filter — the pattern proto::Simulation's schedule_transition
+// produces under carrier-sense resampling.
+void BM_EventQueueScheduleCancel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto engine = static_cast<sim::QueueEngine>(state.range(1));
+  util::Rng rng(4048);
+  constexpr std::size_t kGapMask = (1u << 12) - 1;
+  std::vector<double> gaps(kGapMask + 1);
+  for (double& g : gaps) g = rng.exponential(1.0);
+  std::vector<std::uint32_t> order(kGapMask + 1);
+  for (auto& o : order)
+    o = static_cast<std::uint32_t>(rng.uniform() * static_cast<double>(n));
+
+  sim::EventQueue q(engine);
+  q.reserve_for_nodes(n);
+  double now = 0.0;
+  std::size_t g = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    q.schedule(gaps[g++ & kGapMask], sim::EventKind::kTransition,
+               static_cast<std::uint32_t>(i));
+
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // A transition fires...
+      const sim::Event e = q.pop();
+      now = e.time;
+      q.schedule(now + gaps[g++ & kGapMask], sim::EventKind::kTransition,
+                 e.node);
+      // ...and a carrier toggle makes two neighbors re-sample.
+      for (int k = 0; k < 2; ++k) {
+        const std::uint32_t j = order[g & kGapMask];
+        q.schedule(now + gaps[g++ & kGapMask], sim::EventKind::kTransition,
+                   j);
+      }
+    }
+    benchmark::DoNotOptimize(now);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * n));
+  state.SetLabel(std::string(sim::to_token(engine)) + " N=" +
+                 std::to_string(n));
+}
+BENCHMARK(BM_EventQueueScheduleCancel)
+    ->ArgsProduct({{64, 256},
+                   {static_cast<long>(sim::QueueEngine::kBinaryHeap),
+                    static_cast<long>(sim::QueueEngine::kCalendar)}});
 
 void BM_SimulatorEvents(benchmark::State& state) {
   const auto nodes = model::homogeneous(5, 10.0, 500.0, 500.0);

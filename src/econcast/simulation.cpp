@@ -27,6 +27,7 @@ Simulation::Simulation(model::NodeSet nodes, model::Topology topology,
       config_(std::move(config)),
       estimator_(config_.estimator),
       rng_(config_.seed),
+      queue_(config_.queue_engine),
       channel_(topo_),
       metrics_(nodes_.size()),
       burst_rx_flag_(nodes_.size(), 0) {
@@ -44,11 +45,11 @@ Simulation::Simulation(model::NodeSet nodes, model::Topology topology,
     throw std::invalid_argument(
         "state occupancy tracking requires a clique with N <= 16");
 
-  // Live events are bounded by a few per node (pending transition, interval
-  // end, the packet on the air, energy-guard wakeups, the warmup snapshot);
-  // reserving up front avoids the heap-reallocation churn that otherwise
-  // recurs during every run's ramp-up in the N >= 64 regime.
-  queue_.reserve(4 * nodes_.size() + 8);
+  // Live events are bounded by a few per node; reserving up front avoids
+  // the reallocation churn that otherwise recurs during every run's ramp-up
+  // in the N >= 64 regime (the shared policy lives in
+  // EventQueue::capacity_for_nodes).
+  queue_.reserve_for_nodes(nodes_.size());
   rates_.reserve(nodes_.size());
   nodes_rt_.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
@@ -125,7 +126,11 @@ void Simulation::set_state(std::size_t i, NodeState next) {
 
 void Simulation::schedule_transition(std::size_t i) {
   NodeRuntime& rt = nodes_rt_[i];
-  ++rt.stamp;
+  // Any previously scheduled transition / energy-guard event for this node
+  // is obsolete the moment we re-sample; the queue invalidates them in
+  // O(1) and prunes lazily (schedule() below re-arms its own slot).
+  invalidate_transition(i);
+  const auto node = static_cast<std::uint32_t>(i);
   const bool idle = !channel_.busy_at(i);
   double rate = 0.0;
   switch (rt.state) {
@@ -140,9 +145,8 @@ void Simulation::schedule_transition(std::size_t i) {
         const double level = rt.energy.level(now_);
         const double deficit = refill - level;
         if (deficit > 1e-9 * refill) {
-          queue_.push(now_ + deficit / nodes_[i].budget + 1e-9,
-                      EventKind::kEnergyDepleted,
-                      static_cast<std::uint32_t>(i), rt.stamp);
+          queue_.schedule(now_ + deficit / nodes_[i].budget + 1e-9,
+                          EventKind::kEnergyDepleted, node);
           return;
         }
       }
@@ -156,8 +160,7 @@ void Simulation::schedule_transition(std::size_t i) {
         const double level = rt.energy.level(now_);
         const double dt = std::max(0.0, level - config_.guard_floor) /
                           (nodes_[i].listen_power - nodes_[i].budget);
-        queue_.push(now_ + dt, EventKind::kEnergyDepleted,
-                    static_cast<std::uint32_t>(i), rt.stamp);
+        queue_.schedule(now_ + dt, EventKind::kEnergyDepleted, node);
       }
       rate = rates_[i].listen_to_sleep(idle) +
              rates_[i].listen_to_transmit(
@@ -169,8 +172,7 @@ void Simulation::schedule_transition(std::size_t i) {
       return;  // bursts advance via packet-end events
   }
   if (rate <= 0.0) return;  // gated: wait for a channel/interval wake-up
-  queue_.push(now_ + rng_.exponential(rate), EventKind::kTransition,
-              static_cast<std::uint32_t>(i), rt.stamp);
+  queue_.schedule(now_ + rng_.exponential(rate), EventKind::kTransition, node);
 }
 
 void Simulation::resample_toggled() {
@@ -191,13 +193,13 @@ void Simulation::resample_listening_neighbors_nc(std::size_t i) {
 void Simulation::begin_packet_timer(std::size_t i) {
   nodes_rt_[i].packet_start = now_;
   queue_.push(now_ + 1.0, EventKind::kPacketEnd,
-              static_cast<std::uint32_t>(i), 0);
+              static_cast<std::uint32_t>(i));
 }
 
 void Simulation::fire_transition(std::size_t i) {
   NodeRuntime& rt = nodes_rt_[i];
   const bool idle = !channel_.busy_at(i);
-  if (!idle) return;  // defensive: gated events are invalidated via stamps
+  if (!idle) return;  // defensive: gated events are cancelled in the queue
 
   switch (rt.state) {
     case NodeState::kSleep: {
@@ -310,7 +312,7 @@ void Simulation::handle_interval_end(std::size_t i) {
     rt.multiplier.update(level - rt.interval_start_level);
   rt.interval_start_level = level;
   queue_.push(now_ + rt.multiplier.next_interval_length(),
-              EventKind::kIntervalEnd, static_cast<std::uint32_t>(i), 0);
+              EventKind::kIntervalEnd, static_cast<std::uint32_t>(i));
   if (rt.state != NodeState::kTransmit) schedule_transition(i);
 }
 
@@ -322,11 +324,11 @@ SimResult Simulation::run() {
   for (std::size_t i = 0; i < n; ++i) {
     schedule_transition(i);
     queue_.push(nodes_rt_[i].multiplier.next_interval_length(),
-                EventKind::kIntervalEnd, static_cast<std::uint32_t>(i), 0);
+                EventKind::kIntervalEnd, static_cast<std::uint32_t>(i));
   }
   bool warmup_snapshot_pending = config_.warmup > 0.0;
   if (warmup_snapshot_pending)
-    queue_.push(config_.warmup, EventKind::kCustom, 0, 0);
+    queue_.push(config_.warmup, EventKind::kCustom, 0);
 
   while (!queue_.empty() && queue_.top().time <= config_.duration) {
     const sim::Event e = queue_.pop();
@@ -334,7 +336,7 @@ SimResult Simulation::run() {
     ++events_processed_;
     switch (e.kind) {
       case EventKind::kTransition:
-        if (e.stamp == nodes_rt_[e.node].stamp) fire_transition(e.node);
+        fire_transition(e.node);  // cancelled events never leave the queue
         break;
       case EventKind::kPacketEnd:
         handle_packet_end(e.node);
@@ -343,7 +345,7 @@ SimResult Simulation::run() {
         handle_interval_end(e.node);
         break;
       case EventKind::kEnergyDepleted:
-        if (e.stamp == nodes_rt_[e.node].stamp) handle_energy_guard(e.node);
+        handle_energy_guard(e.node);
         break;
       case EventKind::kCustom:
         if (warmup_snapshot_pending) {
@@ -389,6 +391,7 @@ SimResult Simulation::run() {
   result.bursts = metrics_.burst_count();
   result.corrupted_receptions = metrics_.corrupted_receptions();
   result.events_processed = events_processed_;
+  result.queue_stats = queue_.stats();
   if (!occupancy_.empty()) {
     result.state_occupancy = occupancy_;
     const double total = result.measured_window;

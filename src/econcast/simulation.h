@@ -52,6 +52,20 @@ struct SimConfig {
   std::uint64_t seed = 1;
   double initial_energy = 0.0;
 
+  /// Event-queue backend. kBinaryHeap is the reference; kCalendar is the
+  /// O(1)-amortized bucket queue for large N. The backend can never change
+  /// results — pop order is a strict total order on (time, seq) — so this
+  /// knob trades only wall-clock time.
+  sim::QueueEngine queue_engine = sim::QueueEngine::kBinaryHeap;
+
+  /// Report the event-queue instrumentation counters through
+  /// protocol::SimResult::extras ("queue_pushes", "queue_pops",
+  /// "queue_stale_drops", "queue_peak_live"). Off by default so existing
+  /// outputs are byte-identical. The counters themselves are
+  /// backend-independent (staleness is resolved in pop order), so enabling
+  /// this still cannot make outputs differ across engines.
+  bool report_queue_stats = false;
+
   /// Physical-storage guard (off by default to match the paper's idealized
   /// §VII model, where b(t) is unbounded). When enabled, a node whose
   /// storage reaches `guard_floor` browns out: it is forced to sleep (an
@@ -90,7 +104,14 @@ struct SimResult {
   std::uint64_t packets_received = 0;
   std::uint64_t bursts = 0;
   std::uint64_t corrupted_receptions = 0;
+  /// Live events handled by the main loop (cancelled events the queue
+  /// pruned are counted separately, in queue_stats.stale_drops).
   std::uint64_t events_processed = 0;
+
+  /// Event-queue instrumentation (always collected — it is a handful of
+  /// counters); surfaced into protocol extras only when
+  /// SimConfig::report_queue_stats is set.
+  sim::QueueStats queue_stats;
 
   /// Normalized time-in-state (indexed by model::state_index); empty unless
   /// track_state_occupancy was set.
@@ -109,7 +130,6 @@ class Simulation {
 
   struct NodeRuntime {
     NodeState state = NodeState::kSleep;
-    std::uint64_t stamp = 0;          // pending-transition validity token
     MultiplierTracker multiplier;
     sim::EnergyStore energy;
     double interval_start_level = 0.0;
@@ -134,7 +154,14 @@ class Simulation {
   // State machinery.
   void set_state(std::size_t i, NodeState next);
   void schedule_transition(std::size_t i);
-  void invalidate_transition(std::size_t i) { ++nodes_rt_[i].stamp; }
+  /// Cancels the node's pending rate-driven events (the next transition and
+  /// any energy-guard wake-up/watchdog). Cancellation is owned by the event
+  /// queue; the stale entries are pruned lazily in pop order.
+  void invalidate_transition(std::size_t i) {
+    queue_.cancel(static_cast<std::uint32_t>(i), sim::EventKind::kTransition);
+    queue_.cancel(static_cast<std::uint32_t>(i),
+                  sim::EventKind::kEnergyDepleted);
+  }
   void resample_toggled();
   void resample_listening_neighbors_nc(std::size_t i);
   void begin_packet_timer(std::size_t i);

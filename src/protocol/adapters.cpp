@@ -20,6 +20,18 @@ namespace {
 
 // ---------------------------------------------------------------- helpers --
 
+/// Queue instrumentation -> extras, shared by the two discrete-event
+/// protocols (econcast and the testbed firmware). Opt-in per config so
+/// default outputs stay byte-identical; the counters are
+/// backend-independent, so enabling them still cannot make results differ
+/// across queue engines.
+void report_queue_stats(SimResult& out, const sim::QueueStats& stats) {
+  out.extras["queue_pushes"] = static_cast<double>(stats.pushes);
+  out.extras["queue_pops"] = static_cast<double>(stats.pops);
+  out.extras["queue_stale_drops"] = static_cast<double>(stats.stale_drops);
+  out.extras["queue_peak_live"] = static_cast<double>(stats.peak_live);
+}
+
 void require_clique(const model::Topology& topology, const char* protocol) {
   if (!topology.is_clique())
     throw std::invalid_argument(std::string(protocol) +
@@ -84,9 +96,11 @@ class EconCastProtocol final : public Protocol {
                                 std::uint64_t seed) const override {
     proto::SimConfig config = params_.config;
     config.seed = seed;
+    const bool queue_stats = config.report_queue_stats;
     return std::make_unique<LambdaSim>(
         [sim = std::make_shared<proto::Simulation>(nodes, topology,
-                                                   std::move(config))] {
+                                                   std::move(config)),
+         queue_stats] {
           proto::SimResult r = sim->run();
           SimResult out;
           out.measured_window = r.measured_window;
@@ -104,6 +118,7 @@ class EconCastProtocol final : public Protocol {
               static_cast<double>(r.corrupted_receptions);
           out.extras["events_processed"] =
               static_cast<double>(r.events_processed);
+          if (queue_stats) report_queue_stats(out, r.queue_stats);
           return out;
         });
   }
@@ -379,8 +394,11 @@ class TestbedProtocol final : public Protocol {
     config.duration_ms = params_.duration_ms;
     config.warmup_ms = params_.warmup_ms;
     config.observer = params_.observer;
+    config.queue_engine = params_.queue_engine;
     config.seed = seed;
-    return std::make_unique<LambdaSim>([config] {
+    return std::make_unique<LambdaSim>([config,
+                                        queue_stats =
+                                            params_.report_queue_stats] {
       const testbed::TestbedResult r = testbed::run_testbed(config);
       SimResult out;
       out.measured_window = r.measured_window_ms;
@@ -396,6 +414,7 @@ class TestbedProtocol final : public Protocol {
           static_cast<double>(r.pings_lost_collision);
       out.extras["pings_lost_decode"] =
           static_cast<double>(r.pings_lost_decode);
+      if (queue_stats) report_queue_stats(out, r.queue_stats);
       return out;
     });
   }

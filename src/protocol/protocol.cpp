@@ -70,6 +70,14 @@ ProtocolSpec specialized(ProtocolSpec spec, model::Mode mode, double sigma) {
   return spec;
 }
 
+void set_queue_engine(ProtocolSpec& spec, sim::QueueEngine engine) {
+  if (auto* p = std::get_if<EconCastParams>(&spec.params)) {
+    p->config.queue_engine = engine;
+  } else if (auto* p = std::get_if<TestbedParams>(&spec.params)) {
+    p->queue_engine = engine;
+  }
+}
+
 ProtocolRegistry& ProtocolRegistry::global() {
   static ProtocolRegistry* const registry = [] {
     auto* r = new ProtocolRegistry();

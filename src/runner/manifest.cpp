@@ -270,14 +270,19 @@ Scenario scenario_from_json(const Value& value) {
 }
 
 Value to_json(const SweepManifest& manifest) {
+  Object runner;
+  runner.set("base_seed", util::json::u64_to_string(manifest.base_seed))
+      .set("reseed", manifest.reseed);
+  if (!manifest.queue_engine.empty()) {
+    (void)protocol::queue_engine_from_token_json(
+        manifest.queue_engine);  // fail at the write, offender named
+    runner.set("queue_engine", manifest.queue_engine);
+  }
   Object o;
   o.set("format", kManifestFormat)
       .set("schema_version", kSchemaVersion)
       .set("sweep", to_json(manifest.spec))
-      .set("runner", Object{}
-                         .set("base_seed",
-                              util::json::u64_to_string(manifest.base_seed))
-                         .set("reseed", manifest.reseed));
+      .set("runner", std::move(runner));
   return Value(std::move(o));
 }
 
@@ -310,6 +315,11 @@ SweepManifest manifest_from_json(const Value& value) {
       manifest.base_seed = util::json::u64_from_string(seed->as_string());
     if (const Value* reseed = r.find("reseed"))
       manifest.reseed = reseed->as_bool();
+    if (const Value* engine = r.find("queue_engine")) {
+      manifest.queue_engine = engine->as_string();
+      (void)protocol::queue_engine_from_token_json(
+          manifest.queue_engine);  // reject at parse time
+    }
   }
   return manifest;
 }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "protocol/protocol_json.h"
+#include "sim/event_queue.h"
 
 namespace econcast::runner {
 
@@ -20,6 +21,16 @@ SweepSession::SweepSession(SweepManifest manifest, std::string results_path,
       results_path_(std::move(results_path)),
       options_(std::move(options)),
       batch_(manifest_.spec.expand()) {
+  if (!manifest_.queue_engine.empty()) {
+    // Backend override: applied to every cell with a discrete-event kernel.
+    // This cannot perturb names, seeds or results (backends pop in the same
+    // strict order), so checkpoints written under one engine resume cleanly
+    // under the other.
+    const sim::QueueEngine engine =
+        sim::queue_engine_from_token(manifest_.queue_engine);
+    for (Scenario& scenario : batch_)
+      protocol::set_queue_engine(scenario.protocol, engine);
+  }
   completed_.reserve(batch_.size());
   load_existing();
 }

@@ -1,12 +1,40 @@
-// Future-event list for the continuous-time simulator. Events are typed and
-// carry a validity stamp so holders can invalidate scheduled transitions in
-// O(1) (lazy deletion) when exponential rates change — re-sampling is valid
-// because of memorylessness.
+// Future-event list for the continuous-time simulators — a pluggable kernel.
+//
+// `EventQueue` is a thin facade over two interchangeable backends:
+//
+//   * kBinaryHeap — std::push_heap/pop_heap over a reservable vector; the
+//     reference implementation (the seed's behavior, kept as the oracle the
+//     calendar backend is differentially tested against).
+//   * kCalendar — a calendar queue: direct-mapped time buckets plus an
+//     overflow ladder for events beyond the current "year". Tuned for this
+//     codebase's workload (a few live events per node, bounded horizon),
+//     where push and pop are O(1) amortized instead of O(log n); the year is
+//     re-laid over the overflow ladder when it drains, with the bucket width
+//     re-estimated from the live population each time.
+//
+// Both backends guarantee the same strict total pop order on (time, seq) —
+// seq is assigned by push order — so the backend choice can never change
+// simulation results; it only changes how fast they are computed.
+//
+// Cancellation is owned by the queue: `schedule()` enters a *cancellable*
+// event bound to the current generation of its (node, kind) slot and bumps
+// that generation (so at most one scheduled event per slot is ever live),
+// `cancel()` bumps the generation without entering anything, and stale
+// events are pruned lazily when they surface at the head — the classic
+// lazy-deletion scheme that used to be hand-rolled with validity stamps in
+// proto::Simulation and testbed::run_testbed. Re-sampling on cancel is
+// statistically valid because the sojourn times are exponential
+// (memorylessness). `push()` enters a durable event that no cancellation
+// affects. All staleness bookkeeping lives in the facade, so the
+// instrumentation counters (pushes, pops, stale drops, peak live events)
+// are backend-independent by construction.
 #ifndef ECONCAST_SIM_EVENT_QUEUE_H
 #define ECONCAST_SIM_EVENT_QUEUE_H
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 namespace econcast::sim {
@@ -20,47 +48,111 @@ enum class EventKind : std::uint8_t {
   kCustom,          // protocol-specific
 };
 
+/// Number of EventKind values; sizes the per-(node, kind) generation table.
+inline constexpr std::size_t kEventKindCount = 6;
+
 struct Event {
   double time = 0.0;
   std::uint64_t seq = 0;  // FIFO tie-break for identical times
   EventKind kind = EventKind::kCustom;
+  bool cancellable = false;  // entered via schedule() rather than push()
   std::uint32_t node = 0;
-  std::uint64_t stamp = 0;  // validity token (kTransition, kPingSlot)
+  std::uint64_t stamp = 0;  // queue generation (cancellable events only)
 };
 
-/// Min-heap on (time, seq). seq is assigned by push order, making the
-/// simulation fully deterministic for a fixed seed.
-///
-/// Backed by a plain std::vector + std::push_heap/pop_heap rather than
-/// std::priority_queue so callers can `reserve` capacity up front: the live
-/// event count is bounded by a few events per node, but without a reserve
-/// the vector reallocates several times during ramp-up of every run — churn
-/// that is measurable in the N >= 64 regime (bench_micro's
-/// BM_EventQueuePushPop quantifies it). Pop order is a strict total order on
-/// (time, seq), so the heap implementation cannot affect simulation results.
+/// The strict total order both backends pop in: earliest time first, push
+/// order (seq) breaking ties. `operator()(a, b)` is "a pops later than b".
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// Backend selection. kBinaryHeap is the reference; kCalendar is the
+/// O(1)-amortized bucket queue for the N >= 64 regime.
+enum class QueueEngine : std::uint8_t { kBinaryHeap, kCalendar };
+
+/// "binary-heap" / "calendar" — the wire/CLI token of an engine.
+const char* to_token(QueueEngine engine) noexcept;
+
+/// Inverse of to_token. Throws std::invalid_argument (with the offending
+/// token named) for anything else.
+QueueEngine queue_engine_from_token(const std::string& token);
+
+/// Instrumentation counters, identical across backends for identical call
+/// sequences (staleness is resolved in the facade, in pop order).
+struct QueueStats {
+  std::uint64_t pushes = 0;       // push() + schedule() calls that entered
+  std::uint64_t pops = 0;         // live events handed to the caller
+  std::uint64_t stale_drops = 0;  // cancelled events pruned at the head
+  std::size_t peak_live = 0;      // high-water mark of stored events
+};
+
+class EventQueueBackend;  // internal; defined in event_queue.cpp
+
 class EventQueue {
  public:
-  void push(double time, EventKind kind, std::uint32_t node,
-            std::uint64_t stamp = 0);
-  bool empty() const noexcept { return heap_.empty(); }
-  std::size_t size() const noexcept { return heap_.size(); }
-  const Event& top() const { return heap_.front(); }
+  explicit EventQueue(QueueEngine engine = QueueEngine::kBinaryHeap);
+  ~EventQueue();
+  EventQueue(EventQueue&&) noexcept;
+  EventQueue& operator=(EventQueue&&) noexcept;
+
+  QueueEngine engine() const noexcept { return engine_; }
+
+  /// The shared capacity policy for simulators whose live event count is
+  /// bounded by a few events per node (pending transition, interval end,
+  /// the packet on the air, energy-guard wakeups, a warmup snapshot).
+  static constexpr std::size_t capacity_for_nodes(std::size_t n) noexcept {
+    return 4 * n + 8;
+  }
+
+  /// Pre-sizes the queue for an `n`-node simulation: event storage per
+  /// capacity_for_nodes plus the (node, kind) generation table. Both
+  /// proto::Simulation and testbed::run_testbed call this instead of
+  /// hand-picking constants.
+  void reserve_for_nodes(std::size_t n);
+
+  /// Enters a durable event: it stays live until popped.
+  void push(double time, EventKind kind, std::uint32_t node);
+
+  /// Enters a cancellable event, implicitly cancelling any live event
+  /// previously scheduled for the same (node, kind) — at most one scheduled
+  /// event per slot is live at any time.
+  void schedule(double time, EventKind kind, std::uint32_t node);
+
+  /// Invalidates the live scheduled event for (node, kind), if any. O(1):
+  /// the event itself is pruned lazily when it reaches the head.
+  void cancel(std::uint32_t node, EventKind kind);
+
+  /// Prunes cancelled events off the head; true when no live event remains.
+  bool empty();
+  /// The earliest live event. Throws std::logic_error when empty().
+  const Event& top();
+  /// Removes and returns the earliest live event. Throws std::logic_error
+  /// when empty().
   Event pop();
+
   void clear();
-  /// Pre-allocates capacity for `n` simultaneously pending events.
-  void reserve(std::size_t n) { heap_.reserve(n); }
-  std::size_t capacity() const noexcept { return heap_.capacity(); }
-  std::uint64_t pushed() const noexcept { return next_seq_; }
+  /// Pre-allocates storage for `n` simultaneously pending events.
+  void reserve(std::size_t n);
+  std::size_t capacity() const noexcept;
+  /// Stored events, including cancelled ones not yet pruned.
+  std::size_t size() const noexcept;
+
+  const QueueStats& stats() const noexcept { return stats_; }
 
  private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-  std::vector<Event> heap_;
+  std::uint64_t& generation(std::uint32_t node, EventKind kind);
+  bool stale(const Event& e) const noexcept;
+  /// Prunes stale events at the head; nullptr when no live event remains.
+  const Event* peek_live();
+
+  QueueEngine engine_;
+  std::unique_ptr<EventQueueBackend> backend_;
+  std::vector<std::uint64_t> generations_;  // node-major, kEventKindCount wide
   std::uint64_t next_seq_ = 0;
+  QueueStats stats_;
 };
 
 }  // namespace econcast::sim

@@ -16,7 +16,6 @@ enum class S : std::uint8_t { kSleep, kListen, kTransmit };
 
 struct Node {
   S state = S::kSleep;
-  std::uint64_t stamp = 0;
   double eta = 0.0;
   double drift = 1.0;            // sleep-clock factor
   double state_since = 0.0;
@@ -47,8 +46,8 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
     nd.drift = rng.uniform(1.0 - hw.sleep_clock_drift,
                            1.0 + hw.sleep_clock_drift);
 
-  sim::EventQueue queue;
-  queue.reserve(4 * cfg.n + 8);  // same bound as proto::Simulation
+  sim::EventQueue queue(cfg.queue_engine);
+  queue.reserve_for_nodes(cfg.n);  // shared policy with proto::Simulation
   double now = 0.0;
 
   int transmitter = -1;  // clique: at most one
@@ -98,7 +97,10 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
 
   auto schedule_transition = [&](std::size_t i) {
     Node& nd = nodes[i];
-    ++nd.stamp;
+    // The queue owns invalidation: a re-schedule (or a bare cancel when the
+    // node is gated) obsoletes the pending transition, which is pruned
+    // lazily — the same contract proto::Simulation uses.
+    queue.cancel(static_cast<std::uint32_t>(i), sim::EventKind::kTransition);
     if (transmitter >= 0) return;  // gated: resampled on release
     double rate = 0.0;
     switch (nd.state) {
@@ -112,8 +114,8 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
         return;
     }
     if (rate <= 0.0) return;
-    queue.push(now + rng.exponential(rate), sim::EventKind::kTransition,
-               static_cast<std::uint32_t>(i), nd.stamp);
+    queue.schedule(now + rng.exponential(rate), sim::EventKind::kTransition,
+                   static_cast<std::uint32_t>(i));
   };
   auto resample_all_idle = [&] {
     for (std::size_t i = 0; i < cfg.n; ++i)
@@ -122,7 +124,7 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
 
   auto start_packet = [&](std::size_t i) {
     queue.push(now + packet, sim::EventKind::kPacketEnd,
-               static_cast<std::uint32_t>(i), 0);
+               static_cast<std::uint32_t>(i));
   };
 
   auto begin_burst = [&](std::size_t i) {
@@ -172,9 +174,9 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
   for (std::size_t i = 0; i < cfg.n; ++i) {
     schedule_transition(i);
     queue.push(cfg.tau_ms * nodes[i].drift, sim::EventKind::kIntervalEnd,
-               static_cast<std::uint32_t>(i), 0);
+               static_cast<std::uint32_t>(i));
   }
-  queue.push(cfg.warmup_ms, sim::EventKind::kCustom, 0, 0);
+  queue.push(cfg.warmup_ms, sim::EventKind::kCustom, 0);
 
   // --- main loop -----------------------------------------------------------
   while (!queue.empty() && queue.top().time <= cfg.duration_ms) {
@@ -184,7 +186,7 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
     switch (e.kind) {
       case sim::EventKind::kTransition: {
         Node& nd = nodes[i];
-        if (e.stamp != nd.stamp || transmitter >= 0) break;
+        if (transmitter >= 0) break;  // cancelled events never surface
         if (nd.state == S::kSleep) {
           set_state(i, S::kListen);
           schedule_transition(i);
@@ -223,7 +225,7 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
           result.ping_distribution.add(
               static_cast<std::size_t>(pending_estimate));
         queue.push(now + hw.ping_interval_ms, sim::EventKind::kPingSlot,
-                   static_cast<std::uint32_t>(i), 0);
+                   static_cast<std::uint32_t>(i));
         break;
       }
       case sim::EventKind::kPingSlot: {
@@ -249,7 +251,7 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
         nd.interval_start_balance = level;
         ++nd.interval_k;
         queue.push(now + cfg.tau_ms * nd.drift, sim::EventKind::kIntervalEnd,
-                   static_cast<std::uint32_t>(i), 0);
+                   static_cast<std::uint32_t>(i));
         if (nd.state != S::kTransmit && transmitter < 0)
           schedule_transition(i);
         break;
@@ -287,6 +289,7 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
     ratio_max = std::max(ratio_max, ratio);
     result.final_eta[j] = nodes[j].eta;
   }
+  result.queue_stats = queue.stats();
   result.battery_ratio_mean = ratio_sum / static_cast<double>(cfg.n);
   result.battery_ratio_min = ratio_min;
   result.battery_ratio_max = ratio_max;

@@ -36,15 +36,40 @@ TEST(EventQueue, FifoTieBreakAtEqualTimes) {
   EXPECT_EQ(q.pop().node, 12u);
 }
 
-TEST(EventQueue, CarriesStamp) {
+TEST(EventQueue, ScheduleReplacesPendingSlot) {
+  // schedule() owns cancellation: at most one live event per (node, kind).
   EventQueue q;
-  q.push(1.0, EventKind::kTransition, 4, 77);
-  EXPECT_EQ(q.pop().stamp, 77u);
+  q.schedule(1.0, EventKind::kTransition, 4);
+  q.schedule(2.0, EventKind::kTransition, 4);
+  const Event e = q.pop();
+  EXPECT_DOUBLE_EQ(e.time, 2.0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.stats().stale_drops, 1u);
+}
+
+TEST(EventQueue, CancelInvalidatesOnlyItsSlot) {
+  EventQueue q;
+  q.schedule(1.0, EventKind::kTransition, 4);
+  q.schedule(2.0, EventKind::kEnergyDepleted, 4);
+  q.schedule(3.0, EventKind::kTransition, 5);
+  q.cancel(4, EventKind::kTransition);
+  EXPECT_EQ(q.pop().kind, EventKind::kEnergyDepleted);
+  EXPECT_EQ(q.pop().node, 5u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DurablePushIsNotCancellable) {
+  EventQueue q;
+  q.push(1.0, EventKind::kPacketEnd, 4);
+  q.cancel(4, EventKind::kPacketEnd);
+  ASSERT_FALSE(q.empty());
+  EXPECT_EQ(q.pop().kind, EventKind::kPacketEnd);
 }
 
 TEST(EventQueue, PopEmptyThrows) {
   EventQueue q;
   EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW(q.top(), std::logic_error);
 }
 
 TEST(EventQueue, ClearEmpties) {

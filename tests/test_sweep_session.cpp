@@ -433,7 +433,60 @@ TEST(ManifestJson, ManifestFileRoundTrips) {
             json::dump(runner::to_json(manifest)));
 }
 
+TEST(ManifestJson, QueueEngineOverrideRoundTripsAndValidates) {
+  const fs::path dir = test_dir();
+  runner::SweepManifest manifest(small_sweep(), 4242, true);
+  manifest.queue_engine = "calendar";
+  const std::string path = (dir / "cal.manifest.json").string();
+  runner::write_manifest(manifest, path);
+  EXPECT_EQ(runner::load_manifest(path).queue_engine, "calendar");
+
+  // Unset: the runner object carries no queue_engine key at all.
+  runner::SweepManifest plain(small_sweep(), 4242, true);
+  EXPECT_EQ(runner::to_json(plain)
+                .as_object()
+                .at("runner")
+                .as_object()
+                .find("queue_engine"),
+            nullptr);
+
+  // Bad tokens die at the write and at the parse, offender named.
+  runner::SweepManifest bad(small_sweep(), 4242, true);
+  bad.queue_engine = "fibonacci";
+  EXPECT_THROW(runner::to_json(bad), json::Error);
+  std::string text = json::dump(runner::to_json(manifest));
+  const std::string needle = "\"calendar\"";  // only the runner override
+  const std::size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, needle.size(), "\"fibonacci\"");
+  EXPECT_THROW(runner::manifest_from_json(json::parse(text)), json::Error);
+}
+
 // -------------------------------------------------------------- SweepSession --
+
+TEST(SweepSession, QueueEngineOverrideResultsAreByteIdentical) {
+  // The whole point of the determinism contract: the same manifest run
+  // under either backend — or checkpointed under one and resumed under the
+  // other — produces byte-identical results files.
+  const fs::path dir = test_dir();
+  runner::SweepManifest manifest(small_sweep(), 7, true);
+  runner::SweepSession heap(manifest, (dir / "heap.jsonl").string());
+  heap.run();
+
+  manifest.queue_engine = "calendar";
+  runner::SweepSession calendar(manifest, (dir / "cal.jsonl").string());
+  calendar.run();
+  EXPECT_EQ(slurp(dir / "heap.jsonl"), slurp(dir / "cal.jsonl"));
+
+  // Checkpoint 5 cells under the calendar, resume under the heap.
+  runner::SweepSession first(manifest, (dir / "mixed.jsonl").string());
+  first.run(5);
+  manifest.queue_engine = "binary-heap";
+  runner::SweepSession resumed(manifest, (dir / "mixed.jsonl").string());
+  EXPECT_EQ(resumed.completed_cells(), 5u);
+  resumed.run();
+  EXPECT_EQ(slurp(dir / "heap.jsonl"), slurp(dir / "mixed.jsonl"));
+}
 
 TEST(SweepSession, UninterruptedRunCompletesAndAggregates) {
   const fs::path dir = test_dir();

@@ -2,7 +2,8 @@
 // checkpoint/resume.
 //
 //   econcast_sweep <manifest.json> [--results PATH] [--threads N]
-//                  [--limit N] [--fresh] [--progress] [--quiet]
+//                  [--limit N] [--engine NAME] [--fresh] [--progress]
+//                  [--quiet]
 //
 // Completed cells stream to the results JSONL next to the manifest (or
 // --results). Re-running the same command resumes: the completed prefix is
@@ -10,27 +11,37 @@
 // only the remaining cells execute — the final file is byte-identical to an
 // uninterrupted run. --limit N checkpoints after N new cells and exits,
 // which is how CI exercises the kill/resume path deterministically.
+// --engine overrides the event-queue backend for every discrete-event cell
+// (binary-heap or calendar); backends cannot change results, so mixing
+// engines across a resumed checkpoint is safe.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "runner/sweep_session.h"
+#include "sim/event_queue.h"
 
 namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <manifest.json> [--results PATH] [--threads N]\n"
-               "       [--limit N] [--fresh] [--progress] [--quiet]\n"
+               "       [--limit N] [--engine NAME] [--fresh] [--progress]\n"
+               "       [--quiet]\n"
                "\n"
                "  --results PATH  results JSONL (default: manifest path with\n"
                "                  .json replaced by .results.jsonl)\n"
                "  --threads N     cap worker threads (default: all cores)\n"
                "  --limit N       stop after N newly completed cells; rerun\n"
                "                  to resume from the checkpoint\n"
+               "  --engine NAME   event-queue backend for the simulated\n"
+               "                  cells: binary-heap or calendar (results\n"
+               "                  are identical; only wall clock changes)\n"
                "  --fresh         discard an existing results file first\n"
                "  --progress      print a line per completed cell to stderr\n"
                "  --quiet         suppress the completion summary\n",
@@ -59,6 +70,7 @@ int main(int argc, char** argv) {
 
   std::string manifest_path;
   std::string results_path;
+  std::string engine;
   std::size_t threads = 0;
   std::size_t limit = 0;
   bool fresh = false;
@@ -77,6 +89,14 @@ int main(int argc, char** argv) {
       if (!parse_size(value(), threads)) usage(argv[0]);
     } else if (std::strcmp(arg, "--limit") == 0) {
       if (!parse_size(value(), limit)) usage(argv[0]);
+    } else if (std::strcmp(arg, "--engine") == 0) {
+      engine = value();
+      try {
+        (void)econcast::sim::queue_engine_from_token(engine);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        usage(argv[0]);
+      }
     } else if (std::strcmp(arg, "--fresh") == 0) {
       fresh = true;
     } else if (std::strcmp(arg, "--progress") == 0) {
@@ -107,8 +127,10 @@ int main(int argc, char** argv) {
       };
     }
 
-    runner::SweepSession session(runner::load_manifest(manifest_path),
-                                 results_path, options);
+    runner::SweepManifest manifest = runner::load_manifest(manifest_path);
+    if (!engine.empty()) manifest.queue_engine = engine;
+
+    runner::SweepSession session(std::move(manifest), results_path, options);
     const std::size_t resumed = session.completed_cells();
     const std::size_t ran = session.run(limit);
 

@@ -20,6 +20,7 @@
 #include "runner/scenario_runner.h"
 #include "runner/sweep_session.h"
 #include "sim/event_queue.h"
+#include "sim/hotpath.h"
 
 namespace econcast::bench {
 
@@ -73,6 +74,35 @@ inline sim::QueueEngine engine_flag(int argc, char** argv) {
   const std::string token = flag(argc, argv, "--engine", "binary-heap");
   try {
     return sim::queue_engine_from_token(token);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+}
+
+/// True when the bare flag `name` appears anywhere in argv.
+inline bool bool_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
+
+/// Reads the simulator hot-path engine from "--hotpath=reference|optimized"
+/// (default: optimized). Same contract as --engine: the engines produce
+/// byte-identical tables — the optimized path only adds O(1) listener
+/// counting and rate-exponential memoization on top of the same RNG stream —
+/// so this flag trades wall-clock time only, and CI diffs the tables across
+/// engines to prove it.
+inline sim::HotpathEngine hotpath_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hotpath") == 0) {
+      std::fprintf(stderr, "use --hotpath=NAME (flags take the '=' form)\n");
+      std::exit(2);
+    }
+  }
+  const std::string token = flag(argc, argv, "--hotpath", "optimized");
+  try {
+    return sim::hotpath_engine_from_token(token);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     std::exit(2);

@@ -198,6 +198,43 @@ void BM_SimulatorEvents(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEvents);
 
+// The simulator's hot path on fig. 6-style grids, comparatively across the
+// reference and optimized engines. Arg 0 is the grid side k (N = k²); arg 1
+// selects the hot-path engine. The config mirrors the fig. 6 cells (energy
+// guard, adaptive multiplier from eta = 0) at a shortened duration, so the
+// measured region exercises exactly the listener-count / rate-exponential /
+// allocation costs the optimized engine targets. Both engines process the
+// identical event stream — items/sec is the comparable figure of merit.
+void BM_SimulatorGridHotpath(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto engine = static_cast<sim::HotpathEngine>(state.range(1));
+  const std::size_t n = k * k;
+  const auto nodes = model::homogeneous(n, 10.0, 500.0, 500.0);
+  const auto topo = model::Topology::grid(k, k);
+  std::uint64_t seed = 66 + n;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    proto::SimConfig cfg;
+    cfg.sigma = 0.25;
+    cfg.duration = 2e5;
+    cfg.warmup = cfg.duration * 0.4;
+    cfg.seed = seed++;
+    cfg.energy_guard = true;
+    cfg.initial_energy = 5e5;
+    cfg.hotpath_engine = engine;
+    proto::Simulation sim(nodes, topo, cfg);
+    const auto r = sim.run();
+    events += r.events_processed;
+    benchmark::DoNotOptimize(r.groupput);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel(sim::to_token(engine) + " N=" + std::to_string(n));
+}
+BENCHMARK(BM_SimulatorGridHotpath)
+    ->ArgsProduct({{4, 8, 16},
+                   {static_cast<long>(sim::HotpathEngine::kReference),
+                    static_cast<long>(sim::HotpathEngine::kOptimized)}});
+
 }  // namespace
 
 BENCHMARK_MAIN();

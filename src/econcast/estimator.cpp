@@ -6,9 +6,19 @@ namespace econcast::proto {
 
 ListenerEstimator::ListenerEstimator(const EstimatorConfig& config)
     : config_(config) {
-  if (config.kind == EstimatorKind::kBinomialThinning &&
-      (config.detect_prob < 0.0 || config.detect_prob > 1.0))
+  // detect_prob is validated for every kind (the written-but-unused negation
+  // rejects NaN too): a config that only becomes invalid when the kind is
+  // later switched to thinning should fail here, not at that switch.
+  if (!(config.detect_prob >= 0.0 && config.detect_prob <= 1.0))
     throw std::invalid_argument("detect_prob must be in [0, 1]");
+  switch (config.kind) {
+    case EstimatorKind::kPerfect:
+    case EstimatorKind::kBinomialThinning:
+    case EstimatorKind::kExistenceOnly:
+      break;
+    default:
+      throw std::invalid_argument("invalid EstimatorKind");
+  }
 }
 
 int ListenerEstimator::estimate(int true_count, util::Rng& rng) const {
@@ -24,7 +34,10 @@ int ListenerEstimator::estimate(int true_count, util::Rng& rng) const {
     case EstimatorKind::kExistenceOnly:
       return true_count > 0 ? 1 : 0;
   }
-  return true_count;
+  // An out-of-range kind is rejected at construction; reaching here means
+  // the config was bitwise-corrupted after the fact. Fail loudly instead of
+  // silently degrading to perfect estimation.
+  throw std::logic_error("ListenerEstimator: corrupted EstimatorKind");
 }
 
 }  // namespace econcast::proto

@@ -1,11 +1,14 @@
 #include "econcast/simulation.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace econcast::proto {
 
 using sim::EventKind;
+using sim::NodeId;
 
 namespace {
 MultiplierConfig node_multiplier_config(const SimConfig& cfg,
@@ -18,6 +21,8 @@ MultiplierConfig node_multiplier_config(const SimConfig& cfg,
                (node.listen_power * node.budget);
   return mc;
 }
+
+constexpr double kStaleRate = std::numeric_limits<double>::quiet_NaN();
 }  // namespace
 
 Simulation::Simulation(model::NodeSet nodes, model::Topology topology,
@@ -27,10 +32,20 @@ Simulation::Simulation(model::NodeSet nodes, model::Topology topology,
       config_(std::move(config)),
       estimator_(config_.estimator),
       rng_(config_.seed),
-      queue_(config_.queue_engine),
-      channel_(topo_),
+      queue_(config_.queue_engine, &arena_),
+      channel_(topo_, &arena_, config_.hotpath_engine),
       metrics_(nodes_.size()),
-      burst_rx_flag_(nodes_.size(), 0) {
+      state_(sim::ArenaAllocator<NodeState>(&arena_)),
+      state_since_(sim::ArenaAllocator<double>(&arena_)),
+      listen_time_(sim::ArenaAllocator<double>(&arena_)),
+      transmit_time_(sim::ArenaAllocator<double>(&arena_)),
+      eta_(sim::ArenaAllocator<double>(&arena_)),
+      wake_rate_(sim::ArenaAllocator<double>(&arena_)),
+      tx_rate_(sim::ArenaAllocator<double>(&arena_)),
+      energy_(&arena_),
+      burst_rx_flag_(sim::ArenaAllocator<std::uint8_t>(&arena_)),
+      burst_rx_list_(sim::ArenaAllocator<NodeId>(&arena_)),
+      opt_(config_.hotpath_engine == sim::HotpathEngine::kOptimized) {
   model::validate(nodes_);
   if (nodes_.size() != topo_.size())
     throw std::invalid_argument("nodes/topology size mismatch");
@@ -45,29 +60,76 @@ Simulation::Simulation(model::NodeSet nodes, model::Topology topology,
     throw std::invalid_argument(
         "state occupancy tracking requires a clique with N <= 16");
 
+  const std::size_t n = nodes_.size();
+
   // Live events are bounded by a few per node; reserving up front avoids
   // the reallocation churn that otherwise recurs during every run's ramp-up
   // in the N >= 64 regime (the shared policy lives in
   // EventQueue::capacity_for_nodes).
-  queue_.reserve_for_nodes(nodes_.size());
-  rates_.reserve(nodes_.size());
-  nodes_rt_.reserve(nodes_.size());
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  queue_.reserve_for_nodes(n);
+
+  state_.assign(n, NodeState::kSleep);
+  state_since_.assign(n, 0.0);
+  listen_time_.assign(n, 0.0);
+  transmit_time_.assign(n, 0.0);
+  eta_.assign(n, 0.0);
+  wake_rate_.assign(n, 0.0);
+  std::size_t max_degree = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    max_degree = std::max(max_degree, topo_.neighbors(i).size());
+  tx_rate_width_ = max_degree + 1;
+  tx_rate_.assign(n * tx_rate_width_, kStaleRate);
+  energy_.reserve(n);
+  burst_rx_flag_.assign(n, 0);
+  burst_rx_list_.reserve(n);
+
+  rates_.reserve(n);
+  nodes_rt_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     rates_.emplace_back(nodes_[i].listen_power, nodes_[i].transmit_power,
                         config_.sigma, config_.variant, config_.mode);
     const double eta0 = config_.eta_init.empty()
                             ? config_.multiplier.eta_init
                             : config_.eta_init[i];
-    nodes_rt_.emplace_back(node_multiplier_config(config_, nodes_[i], eta0),
-                           nodes_[i].budget, config_.initial_energy);
+    nodes_rt_.emplace_back(node_multiplier_config(config_, nodes_[i], eta0));
     nodes_rt_.back().interval_start_level = config_.initial_energy;
+    energy_.add(nodes_[i].budget, config_.initial_energy);
+    refresh_eta(static_cast<NodeId>(i));
   }
   if (config_.track_state_occupancy)
-    occupancy_.assign(model::state_space_size(nodes_.size()), 0.0);
+    occupancy_.assign(model::state_space_size(n), 0.0);
 }
 
-int Simulation::observed_listeners(std::size_t i) const {
+int Simulation::observed_listeners(NodeId i) const {
   return channel_.listening_neighbors(i);
+}
+
+void Simulation::refresh_eta(NodeId i) {
+  eta_[i] = nodes_rt_[i].multiplier.eta();
+  if (!opt_) return;
+  wake_rate_[i] = rates_[i].sleep_to_listen(eta_[i], true);
+  const std::size_t row = static_cast<std::size_t>(i) * tx_rate_width_;
+  std::fill(tx_rate_.begin() + row, tx_rate_.begin() + row + tx_rate_width_,
+            kStaleRate);
+}
+
+double Simulation::wake_rate(NodeId i, bool idle) {
+  if (opt_) return idle ? wake_rate_[i] : 0.0;
+  return rates_[i].sleep_to_listen(eta_[i], idle);
+}
+
+double Simulation::listen_tx_rate(NodeId i, bool idle) {
+  if (!idle) return 0.0;
+  const int count = observed_listeners(i);
+  if (!opt_)
+    return rates_[i].listen_to_transmit(eta_[i], static_cast<double>(count),
+                                        true);
+  double& memo = tx_rate_[static_cast<std::size_t>(i) * tx_rate_width_ +
+                          static_cast<std::size_t>(count)];
+  if (std::isnan(memo))
+    memo = rates_[i].listen_to_transmit(eta_[i], static_cast<double>(count),
+                                        true);
+  return memo;
 }
 
 void Simulation::occupancy_advance() {
@@ -80,7 +142,7 @@ void Simulation::occupancy_advance() {
   occ_since_ = now_;
 }
 
-void Simulation::occupancy_apply_state(std::size_t i, NodeState next) {
+void Simulation::occupancy_apply_state(NodeId i, NodeState next) {
   if (occupancy_.empty()) return;
   const std::uint64_t bit = 1ULL << i;
   // Clear the node's previous contribution.
@@ -98,42 +160,39 @@ void Simulation::occupancy_apply_state(std::size_t i, NodeState next) {
   }
 }
 
-void Simulation::set_state(std::size_t i, NodeState next) {
-  NodeRuntime& rt = nodes_rt_[i];
+void Simulation::set_state(NodeId i, NodeState next) {
   occupancy_advance();
   occupancy_apply_state(i, next);
 
   // Time-in-state accounting, clipped to the measured window.
-  const double from = std::max(rt.state_since, metrics_.start_time());
+  const double from = std::max(state_since_[i], metrics_.start_time());
   if (now_ > from) {
-    if (rt.state == NodeState::kListen) rt.listen_time += now_ - from;
-    if (rt.state == NodeState::kTransmit) rt.transmit_time += now_ - from;
+    if (state_[i] == NodeState::kListen) listen_time_[i] += now_ - from;
+    if (state_[i] == NodeState::kTransmit) transmit_time_[i] += now_ - from;
   }
 
   // Channel listen bookkeeping (transmit raises carrier via begin_burst).
-  if (rt.state == NodeState::kListen && next != NodeState::kListen)
+  if (state_[i] == NodeState::kListen && next != NodeState::kListen)
     channel_.set_listening(i, false);
   if (next == NodeState::kListen) channel_.set_listening(i, true);
 
   double draw = 0.0;
   if (next == NodeState::kListen) draw = nodes_[i].listen_power;
   if (next == NodeState::kTransmit) draw = nodes_[i].transmit_power;
-  rt.energy.set_draw(draw, now_);
+  energy_.set_draw(i, draw, now_);
 
-  rt.state = next;
-  rt.state_since = now_;
+  state_[i] = next;
+  state_since_[i] = now_;
 }
 
-void Simulation::schedule_transition(std::size_t i) {
-  NodeRuntime& rt = nodes_rt_[i];
+void Simulation::schedule_transition(NodeId i) {
   // Any previously scheduled transition / energy-guard event for this node
   // is obsolete the moment we re-sample; the queue invalidates them in
   // O(1) and prunes lazily (schedule() below re-arms its own slot).
   invalidate_transition(i);
-  const auto node = static_cast<std::uint32_t>(i);
   const bool idle = !channel_.busy_at(i);
   double rate = 0.0;
-  switch (rt.state) {
+  switch (state_[i]) {
     case NodeState::kSleep:
       if (config_.energy_guard) {
         // Hysteresis: a browned-out node recharges enough for one
@@ -142,66 +201,62 @@ void Simulation::schedule_transition(std::size_t i) {
         // re-arming the refill timer at ~zero intervals.
         const double refill =
             config_.guard_floor + nodes_[i].listen_power;
-        const double level = rt.energy.level(now_);
+        const double level = energy_.level(i, now_);
         const double deficit = refill - level;
         if (deficit > 1e-9 * refill) {
           queue_.schedule(now_ + deficit / nodes_[i].budget + 1e-9,
-                          EventKind::kEnergyDepleted, node);
+                          EventKind::kEnergyDepleted, i);
           return;
         }
       }
-      rate = rates_[i].sleep_to_listen(rt.multiplier.eta(), idle);
+      rate = wake_rate(i, idle);
       break;
     case NodeState::kListen: {
       if (config_.energy_guard &&
           nodes_[i].listen_power > nodes_[i].budget) {
         // Brown-out watchdog: fires even while carrier-gated (a listener
         // pinned inside a long burst still drains its storage).
-        const double level = rt.energy.level(now_);
+        const double level = energy_.level(i, now_);
         const double dt = std::max(0.0, level - config_.guard_floor) /
                           (nodes_[i].listen_power - nodes_[i].budget);
-        queue_.schedule(now_ + dt, EventKind::kEnergyDepleted, node);
+        queue_.schedule(now_ + dt, EventKind::kEnergyDepleted, i);
       }
-      rate = rates_[i].listen_to_sleep(idle) +
-             rates_[i].listen_to_transmit(
-                 rt.multiplier.eta(),
-                 static_cast<double>(observed_listeners(i)), idle);
+      rate = rates_[i].listen_to_sleep(idle) + listen_tx_rate(i, idle);
       break;
     }
     case NodeState::kTransmit:
       return;  // bursts advance via packet-end events
   }
   if (rate <= 0.0) return;  // gated: wait for a channel/interval wake-up
-  queue_.schedule(now_ + rng_.exponential(rate), EventKind::kTransition, node);
+  queue_.schedule(now_ + rng_.exponential(rate), EventKind::kTransition, i);
 }
 
 void Simulation::resample_toggled() {
-  for (const std::size_t n : channel_.drain_toggled()) {
-    if (nodes_rt_[n].state != NodeState::kTransmit) schedule_transition(n);
+  for (const NodeId n : channel_.drain_toggled()) {
+    if (state_[n] != NodeState::kTransmit) schedule_transition(n);
   }
 }
 
-void Simulation::resample_listening_neighbors_nc(std::size_t i) {
+void Simulation::resample_listening_neighbors_nc(NodeId i) {
   if (config_.variant != Variant::kNonCapture) return;
   // λ_lx of eq. (18d) depends on the other-listener count, so listening
   // neighbors must re-sample when node i joins/leaves the listener pool.
   for (const std::size_t j : topo_.neighbors(i)) {
-    if (nodes_rt_[j].state == NodeState::kListen) schedule_transition(j);
+    if (state_[j] == NodeState::kListen)
+      schedule_transition(static_cast<NodeId>(j));
   }
 }
 
-void Simulation::begin_packet_timer(std::size_t i) {
+void Simulation::begin_packet_timer(NodeId i) {
   nodes_rt_[i].packet_start = now_;
-  queue_.push(now_ + 1.0, EventKind::kPacketEnd,
-              static_cast<std::uint32_t>(i));
+  queue_.push(now_ + 1.0, EventKind::kPacketEnd, i);
 }
 
-void Simulation::fire_transition(std::size_t i) {
-  NodeRuntime& rt = nodes_rt_[i];
+void Simulation::fire_transition(NodeId i) {
   const bool idle = !channel_.busy_at(i);
   if (!idle) return;  // defensive: gated events are cancelled in the queue
 
-  switch (rt.state) {
+  switch (state_[i]) {
     case NodeState::kSleep: {
       set_state(i, NodeState::kListen);
       schedule_transition(i);
@@ -210,9 +265,7 @@ void Simulation::fire_transition(std::size_t i) {
     }
     case NodeState::kListen: {
       const double r_sleep = rates_[i].listen_to_sleep(idle);
-      const double r_tx = rates_[i].listen_to_transmit(
-          rt.multiplier.eta(), static_cast<double>(observed_listeners(i)),
-          idle);
+      const double r_tx = listen_tx_rate(i, idle);
       const double total = r_sleep + r_tx;
       if (total <= 0.0) return;
       if (rng_.uniform() * total < r_sleep) {
@@ -225,8 +278,8 @@ void Simulation::fire_transition(std::size_t i) {
         invalidate_transition(i);  // cancel any pending guard watchdog
         channel_.begin_burst(i);
         channel_.begin_packet(i);
-        rt.burst_packets = 0;
-        rt.burst_received_any = false;
+        nodes_rt_[i].burst_packets = 0;
+        nodes_rt_[i].burst_received_any = false;
         begin_packet_timer(i);
         resample_toggled();
       }
@@ -237,10 +290,10 @@ void Simulation::fire_transition(std::size_t i) {
   }
 }
 
-void Simulation::finish_burst(std::size_t i) {
+void Simulation::finish_burst(NodeId i) {
   NodeRuntime& rt = nodes_rt_[i];
   metrics_.record_burst(now_, rt.burst_packets, rt.burst_received_any);
-  for (const std::size_t j : burst_rx_list_) {
+  for (const NodeId j : burst_rx_list_) {
     metrics_.receiver_burst_ended(j, now_);
     burst_rx_flag_[j] = 0;
   }
@@ -251,12 +304,12 @@ void Simulation::finish_burst(std::size_t i) {
   resample_toggled();
 }
 
-void Simulation::handle_packet_end(std::size_t i) {
+void Simulation::handle_packet_end(NodeId i) {
   NodeRuntime& rt = nodes_rt_[i];
-  const sim::Channel::PacketOutcome outcome = channel_.end_packet(i);
+  const sim::Channel::PacketOutcome& outcome = channel_.end_packet(i);
   const auto clean = static_cast<std::uint32_t>(outcome.clean_receivers.size());
   metrics_.record_packet(now_, 1.0, clean, outcome.corrupted);
-  for (const std::size_t j : outcome.clean_receivers) {
+  for (const NodeId j : outcome.clean_receivers) {
     metrics_.receiver_burst_started(j, rt.packet_start);
     if (!burst_rx_flag_[j]) {
       burst_rx_flag_[j] = 1;
@@ -273,7 +326,7 @@ void Simulation::handle_packet_end(std::size_t i) {
   // The energy guard refuses to extend a burst the node cannot pay for.
   const bool can_afford =
       !config_.energy_guard ||
-      rt.energy.level(now_) - config_.guard_floor >=
+      energy_.level(i, now_) - config_.guard_floor >=
           nodes_[i].transmit_power;
   if (can_afford &&
       rng_.bernoulli(
@@ -285,9 +338,8 @@ void Simulation::handle_packet_end(std::size_t i) {
   }
 }
 
-void Simulation::handle_energy_guard(std::size_t i) {
-  NodeRuntime& rt = nodes_rt_[i];
-  switch (rt.state) {
+void Simulation::handle_energy_guard(NodeId i) {
+  switch (state_[i]) {
     case NodeState::kSleep:
       // Refill reached: resume the normal wake-up race.
       schedule_transition(i);
@@ -305,15 +357,16 @@ void Simulation::handle_energy_guard(std::size_t i) {
   }
 }
 
-void Simulation::handle_interval_end(std::size_t i) {
+void Simulation::handle_interval_end(NodeId i) {
   NodeRuntime& rt = nodes_rt_[i];
-  const double level = rt.energy.level(now_);
+  const double level = energy_.level(i, now_);
   if (config_.adapt_multiplier)
     rt.multiplier.update(level - rt.interval_start_level);
   rt.interval_start_level = level;
+  refresh_eta(i);
   queue_.push(now_ + rt.multiplier.next_interval_length(),
-              EventKind::kIntervalEnd, static_cast<std::uint32_t>(i));
-  if (rt.state != NodeState::kTransmit) schedule_transition(i);
+              EventKind::kIntervalEnd, i);
+  if (state_[i] != NodeState::kTransmit) schedule_transition(i);
 }
 
 SimResult Simulation::run() {
@@ -322,9 +375,9 @@ SimResult Simulation::run() {
   std::vector<double> consumed_at_warmup(n, 0.0);
 
   for (std::size_t i = 0; i < n; ++i) {
-    schedule_transition(i);
+    schedule_transition(static_cast<NodeId>(i));
     queue_.push(nodes_rt_[i].multiplier.next_interval_length(),
-                EventKind::kIntervalEnd, static_cast<std::uint32_t>(i));
+                EventKind::kIntervalEnd, static_cast<NodeId>(i));
   }
   bool warmup_snapshot_pending = config_.warmup > 0.0;
   if (warmup_snapshot_pending)
@@ -350,7 +403,7 @@ SimResult Simulation::run() {
       case EventKind::kCustom:
         if (warmup_snapshot_pending) {
           for (std::size_t i = 0; i < n; ++i)
-            consumed_at_warmup[i] = nodes_rt_[i].energy.consumed(now_);
+            consumed_at_warmup[i] = energy_.consumed(i, now_);
           warmup_snapshot_pending = false;
         }
         break;
@@ -370,19 +423,18 @@ SimResult Simulation::run() {
   result.transmit_fraction.resize(n);
   result.final_eta.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    NodeRuntime& rt = nodes_rt_[i];
     // Close the open state interval.
-    const double from = std::max(rt.state_since, config_.warmup);
+    const double from = std::max(state_since_[i], config_.warmup);
     if (now_ > from) {
-      if (rt.state == NodeState::kListen) rt.listen_time += now_ - from;
-      if (rt.state == NodeState::kTransmit) rt.transmit_time += now_ - from;
+      if (state_[i] == NodeState::kListen) listen_time_[i] += now_ - from;
+      if (state_[i] == NodeState::kTransmit) transmit_time_[i] += now_ - from;
     }
     result.avg_power[i] =
-        (rt.energy.consumed(now_) - consumed_at_warmup[i]) /
+        (energy_.consumed(i, now_) - consumed_at_warmup[i]) /
         result.measured_window;
-    result.listen_fraction[i] = rt.listen_time / result.measured_window;
-    result.transmit_fraction[i] = rt.transmit_time / result.measured_window;
-    result.final_eta[i] = rt.multiplier.eta();
+    result.listen_fraction[i] = listen_time_[i] / result.measured_window;
+    result.transmit_fraction[i] = transmit_time_[i] / result.measured_window;
+    result.final_eta[i] = nodes_rt_[i].multiplier.eta();
   }
   result.burst_lengths = metrics_.burst_lengths();
   result.latencies = std::move(metrics_.latencies());
@@ -392,6 +444,9 @@ SimResult Simulation::run() {
   result.corrupted_receptions = metrics_.corrupted_receptions();
   result.events_processed = events_processed_;
   result.queue_stats = queue_.stats();
+  result.hotpath_stats = channel_.hotpath_stats();
+  result.hotpath_stats.arena_bytes = arena_.stats().bytes_allocated;
+  result.hotpath_stats.arena_chunks = arena_.stats().chunks;
   if (!occupancy_.empty()) {
     result.state_occupancy = occupancy_;
     const double total = result.measured_window;

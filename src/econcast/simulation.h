@@ -7,6 +7,12 @@
 // Works on any topology; on cliques with N <= 16 it can additionally tally
 // the empirical network-state occupancy for direct comparison against the
 // Gibbs distribution (19) (the Lemma 2 cross-check used by the test suite).
+//
+// Hot-path layout: the per-node fields the inner loops touch on every event
+// (state, state_since, the η mirror, the energy balance) live in parallel
+// arrays backed by a per-scenario bump arena, not in the per-node struct —
+// see SimConfig::hotpath_engine for the reference/optimized knob and the
+// determinism guarantee.
 #ifndef ECONCAST_ECONCAST_SIMULATION_H
 #define ECONCAST_ECONCAST_SIMULATION_H
 
@@ -19,10 +25,13 @@
 #include "model/network.h"
 #include "model/node_params.h"
 #include "model/state_space.h"
+#include "sim/arena.h"
 #include "sim/channel.h"
 #include "sim/energy.h"
 #include "sim/event_queue.h"
+#include "sim/hotpath.h"
 #include "sim/metrics.h"
+#include "sim/node_id.h"
 #include "util/stats.h"
 
 namespace econcast::proto {
@@ -65,6 +74,25 @@ struct SimConfig {
   /// backend-independent (staleness is resolved in pop order), so enabling
   /// this still cannot make outputs differ across engines.
   bool report_queue_stats = false;
+
+  /// Hot-path engine. kOptimized answers listener-count queries from the
+  /// channel's incrementally maintained per-node counts and memoizes the
+  /// rate exponentials between η updates; kReference recomputes both the
+  /// O(degree) scan and the exponentials on every query — the pre-overhaul
+  /// hot path, kept selectable as the oracle the optimized path is
+  /// differentially tested against. Neither choice can change results: the
+  /// cached values are produced by the exact same expressions the reference
+  /// path evaluates, and the RNG stream is untouched. Only wall clock
+  /// differs.
+  sim::HotpathEngine hotpath_engine = sim::HotpathEngine::kOptimized;
+
+  /// Report the hot-path instrumentation counters through
+  /// protocol::SimResult::extras ("hotpath_listener_queries",
+  /// "hotpath_listener_scans", "hotpath_listen_toggles",
+  /// "hotpath_toggle_drains", "hotpath_arena_bytes",
+  /// "hotpath_arena_chunks"). Off by default, mirroring
+  /// report_queue_stats.
+  bool report_hotpath_stats = false;
 
   /// Physical-storage guard (off by default to match the paper's idealized
   /// §VII model, where b(t) is unbounded). When enabled, a node whose
@@ -113,6 +141,11 @@ struct SimResult {
   /// SimConfig::report_queue_stats is set.
   sim::QueueStats queue_stats;
 
+  /// Hot-path instrumentation (always collected, like queue_stats);
+  /// surfaced into protocol extras only when
+  /// SimConfig::report_hotpath_stats is set.
+  sim::HotpathStats hotpath_stats;
+
   /// Normalized time-in-state (indexed by model::state_index); empty unless
   /// track_state_occupancy was set.
   std::vector<double> state_occupancy;
@@ -128,51 +161,57 @@ class Simulation {
  private:
   enum class NodeState : std::uint8_t { kSleep, kListen, kTransmit };
 
+  /// Cold per-node state: touched once per multiplier interval or once per
+  /// burst, not on every event. The hot fields (state, state_since, η,
+  /// energy balance) live in the SoA arrays below.
   struct NodeRuntime {
-    NodeState state = NodeState::kSleep;
     MultiplierTracker multiplier;
-    sim::EnergyStore energy;
     double interval_start_level = 0.0;
-    double state_since = 0.0;
-    double listen_time = 0.0;    // accumulated inside the measured window
-    double transmit_time = 0.0;
     // Burst bookkeeping while transmitting:
     std::uint64_t burst_packets = 0;
     bool burst_received_any = false;
     double packet_start = 0.0;
 
-    NodeRuntime(const MultiplierConfig& mc, double harvest, double b0)
-        : multiplier(mc), energy(harvest, b0) {}
+    explicit NodeRuntime(const MultiplierConfig& mc) : multiplier(mc) {}
   };
 
   // Event handlers.
-  void fire_transition(std::size_t i);
-  void handle_packet_end(std::size_t i);
-  void handle_interval_end(std::size_t i);
-  void handle_energy_guard(std::size_t i);
+  void fire_transition(sim::NodeId i);
+  void handle_packet_end(sim::NodeId i);
+  void handle_interval_end(sim::NodeId i);
+  void handle_energy_guard(sim::NodeId i);
 
   // State machinery.
-  void set_state(std::size_t i, NodeState next);
-  void schedule_transition(std::size_t i);
+  void set_state(sim::NodeId i, NodeState next);
+  void schedule_transition(sim::NodeId i);
   /// Cancels the node's pending rate-driven events (the next transition and
   /// any energy-guard wake-up/watchdog). Cancellation is owned by the event
   /// queue; the stale entries are pruned lazily in pop order.
-  void invalidate_transition(std::size_t i) {
-    queue_.cancel(static_cast<std::uint32_t>(i), sim::EventKind::kTransition);
-    queue_.cancel(static_cast<std::uint32_t>(i),
-                  sim::EventKind::kEnergyDepleted);
+  void invalidate_transition(sim::NodeId i) {
+    queue_.cancel(i, sim::EventKind::kTransition);
+    queue_.cancel(i, sim::EventKind::kEnergyDepleted);
   }
   void resample_toggled();
-  void resample_listening_neighbors_nc(std::size_t i);
-  void begin_packet_timer(std::size_t i);
-  void finish_burst(std::size_t i);
+  void resample_listening_neighbors_nc(sim::NodeId i);
+  void begin_packet_timer(sim::NodeId i);
+  void finish_burst(sim::NodeId i);
 
   // Estimation.
-  int observed_listeners(std::size_t i) const;
+  int observed_listeners(sim::NodeId i) const;
+
+  // Rate evaluation. λ_sl and λ_lx are exponentials of expressions that only
+  // change when η or the listener count changes; under the optimized engine
+  // they are served from per-node memos refreshed on η updates. The memo
+  // entries are produced by the exact same RateController expressions the
+  // reference engine evaluates inline, so both engines return bit-equal
+  // rates.
+  void refresh_eta(sim::NodeId i);
+  double wake_rate(sim::NodeId i, bool idle);
+  double listen_tx_rate(sim::NodeId i, bool idle);
 
   // Occupancy tracking.
   void occupancy_advance();
-  void occupancy_apply_state(std::size_t i, NodeState next);
+  void occupancy_apply_state(sim::NodeId i, NodeState next);
 
   model::NodeSet nodes_;
   model::Topology topo_;
@@ -182,13 +221,31 @@ class Simulation {
   util::Rng rng_;
 
   double now_ = 0.0;
+  // The scenario arena backs every member below it; it is declared first so
+  // it is destroyed last (and Simulation is immovable because of it — the
+  // containers hold raw pointers into it).
+  sim::Arena arena_;
   sim::EventQueue queue_;
   sim::Channel channel_;
   sim::MetricsCollector metrics_;
-  std::vector<NodeRuntime> nodes_rt_;
-  std::vector<std::uint8_t> burst_rx_flag_;     // receivers of current burst
-  std::vector<std::size_t> burst_rx_list_;
+  std::vector<NodeRuntime> nodes_rt_;  // cold per-node state
+
+  // Hot per-node state, struct-of-arrays (all arena-backed, assigned after
+  // validation in the constructor):
+  sim::ArenaVector<NodeState> state_;
+  sim::ArenaVector<double> state_since_;
+  sim::ArenaVector<double> listen_time_;    // inside the measured window
+  sim::ArenaVector<double> transmit_time_;
+  sim::ArenaVector<double> eta_;        // mirror of nodes_rt_[i].multiplier
+  sim::ArenaVector<double> wake_rate_;  // λ_sl(η) at idle; refreshed with η
+  sim::ArenaVector<double> tx_rate_;    // λ_lx(η, c) memo, row per node,
+  std::size_t tx_rate_width_ = 0;       //   column per count; NaN = stale
+  sim::EnergyLedger energy_;
+
+  sim::ArenaVector<std::uint8_t> burst_rx_flag_;  // receivers of current burst
+  sim::ArenaVector<sim::NodeId> burst_rx_list_;
   std::uint64_t events_processed_ = 0;
+  bool opt_ = true;  // hotpath_engine == kOptimized
 
   // Occupancy tracker state.
   std::vector<double> occupancy_;

@@ -78,6 +78,11 @@ void set_queue_engine(ProtocolSpec& spec, sim::QueueEngine engine) {
   }
 }
 
+void set_hotpath_engine(ProtocolSpec& spec, sim::HotpathEngine engine) {
+  if (auto* p = std::get_if<EconCastParams>(&spec.params))
+    p->config.hotpath_engine = engine;
+}
+
 ProtocolRegistry& ProtocolRegistry::global() {
   static ProtocolRegistry* const registry = [] {
     auto* r = new ProtocolRegistry();

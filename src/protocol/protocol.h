@@ -202,6 +202,12 @@ ProtocolSpec specialized(ProtocolSpec spec, model::Mode mode, double sigma);
 /// apply anywhere because the backend can never change results.
 void set_queue_engine(ProtocolSpec& spec, sim::QueueEngine engine);
 
+/// Selects the simulator hot-path engine on parameter structs that carry it
+/// (EconCast only: the testbed's clique firmware loop has no listener-count
+/// hot path); a no-op for every other protocol. Like set_queue_engine, safe
+/// to apply anywhere — the engine can never change results.
+void set_hotpath_engine(ProtocolSpec& spec, sim::HotpathEngine engine);
+
 // ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------

@@ -136,7 +136,9 @@ Value econcast_to_json(const EconCastParams& p) {
       .set("guard_floor", c.guard_floor)
       .set("track_state_occupancy", c.track_state_occupancy)
       .set("queue_engine", sim::to_token(c.queue_engine))
-      .set("report_queue_stats", c.report_queue_stats);
+      .set("report_queue_stats", c.report_queue_stats)
+      .set("hotpath_engine", sim::to_token(c.hotpath_engine))
+      .set("report_hotpath_stats", c.report_hotpath_stats);
   return Value(std::move(o));
 }
 
@@ -175,6 +177,10 @@ EconCastParams econcast_from_json(const Object& o) {
   c.queue_engine = queue_engine_from_token_json(
       str(o, "queue_engine", sim::to_token(c.queue_engine)));
   c.report_queue_stats = flag(o, "report_queue_stats", c.report_queue_stats);
+  c.hotpath_engine = hotpath_engine_from_token_json(
+      str(o, "hotpath_engine", sim::to_token(c.hotpath_engine)));
+  c.report_hotpath_stats =
+      flag(o, "report_hotpath_stats", c.report_hotpath_stats);
   return EconCastParams{std::move(c)};
 }
 
@@ -333,6 +339,14 @@ model::Mode mode_from_token(const std::string& token) {
 sim::QueueEngine queue_engine_from_token_json(const std::string& token) {
   try {
     return sim::queue_engine_from_token(token);
+  } catch (const std::invalid_argument& e) {
+    throw Error(e.what());
+  }
+}
+
+sim::HotpathEngine hotpath_engine_from_token_json(const std::string& token) {
+  try {
+    return sim::hotpath_engine_from_token(token);
   } catch (const std::invalid_argument& e) {
     throw Error(e.what());
   }

@@ -37,6 +37,10 @@ model::Mode mode_from_token(const std::string& token);
 /// (the runner.queue_engine override uses the same tokens).
 sim::QueueEngine queue_engine_from_token_json(const std::string& token);
 
+/// sim::hotpath_engine_from_token with the same json::Error re-raise; shared
+/// with the runner's manifest layer (runner.hotpath_engine override).
+sim::HotpathEngine hotpath_engine_from_token_json(const std::string& token);
+
 }  // namespace econcast::protocol
 
 #endif  // ECONCAST_PROTOCOL_PROTOCOL_JSON_H

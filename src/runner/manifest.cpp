@@ -278,6 +278,11 @@ Value to_json(const SweepManifest& manifest) {
         manifest.queue_engine);  // fail at the write, offender named
     runner.set("queue_engine", manifest.queue_engine);
   }
+  if (!manifest.hotpath_engine.empty()) {
+    (void)protocol::hotpath_engine_from_token_json(
+        manifest.hotpath_engine);  // fail at the write, offender named
+    runner.set("hotpath_engine", manifest.hotpath_engine);
+  }
   Object o;
   o.set("format", kManifestFormat)
       .set("schema_version", kSchemaVersion)
@@ -319,6 +324,11 @@ SweepManifest manifest_from_json(const Value& value) {
       manifest.queue_engine = engine->as_string();
       (void)protocol::queue_engine_from_token_json(
           manifest.queue_engine);  // reject at parse time
+    }
+    if (const Value* engine = r.find("hotpath_engine")) {
+      manifest.hotpath_engine = engine->as_string();
+      (void)protocol::hotpath_engine_from_token_json(
+          manifest.hotpath_engine);  // reject at parse time
     }
   }
   return manifest;

@@ -46,6 +46,12 @@ struct SweepManifest {
   /// either way (and resuming a checkpoint under a different engine is
   /// safe).
   std::string queue_engine;
+  /// Optional simulator hot-path override ("reference" / "optimized",
+  /// serialized as runner.hotpath_engine): SweepSession applies it to every
+  /// EconCast cell. Empty: each protocol spec's own engine stands. Like
+  /// queue_engine, purely a performance knob — both engines produce
+  /// byte-identical results files.
+  std::string hotpath_engine;
 
   explicit SweepManifest(SweepSpec sweep_spec, std::uint64_t seed = 1,
                          bool reseed_cells = true)

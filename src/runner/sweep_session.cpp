@@ -7,6 +7,7 @@
 
 #include "protocol/protocol_json.h"
 #include "sim/event_queue.h"
+#include "sim/hotpath.h"
 
 namespace econcast::runner {
 
@@ -30,6 +31,14 @@ SweepSession::SweepSession(SweepManifest manifest, std::string results_path,
         sim::queue_engine_from_token(manifest_.queue_engine);
     for (Scenario& scenario : batch_)
       protocol::set_queue_engine(scenario.protocol, engine);
+  }
+  if (!manifest_.hotpath_engine.empty()) {
+    // Same contract as the queue override: the hot-path engine can never
+    // change results, only how fast the EconCast cells produce them.
+    const sim::HotpathEngine engine =
+        sim::hotpath_engine_from_token(manifest_.hotpath_engine);
+    for (Scenario& scenario : batch_)
+      protocol::set_hotpath_engine(scenario.protocol, engine);
   }
   completed_.reserve(batch_.size());
   load_existing();

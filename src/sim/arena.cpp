@@ -1,0 +1,44 @@
+#include "sim/arena.h"
+
+#include <algorithm>
+
+namespace econcast::sim {
+
+void* Arena::allocate(std::size_t bytes, std::size_t alignment) {
+  if (bytes == 0) bytes = 1;
+  if (alignment == 0) alignment = 1;
+
+  if (!chunks_.empty()) {
+    Chunk& current = chunks_.back();
+    const auto base = reinterpret_cast<std::uintptr_t>(current.data.get());
+    const std::uintptr_t cursor = base + used_;
+    const std::uintptr_t aligned = (cursor + (alignment - 1)) & ~static_cast<std::uintptr_t>(alignment - 1);
+    const std::size_t needed = (aligned - base) + bytes;
+    if (needed <= current.size) {
+      used_ = needed;
+      stats_.bytes_allocated += bytes;
+      return reinterpret_cast<void*>(aligned);
+    }
+  }
+
+  // Start a new chunk big enough for this request (plus worst-case alignment
+  // slack) and keep doubling so the chunk count stays logarithmic in the
+  // total footprint.
+  std::size_t chunk_size = std::max(next_chunk_bytes_, bytes + alignment);
+  next_chunk_bytes_ = chunk_size * 2;
+
+  Chunk chunk;
+  chunk.data = std::make_unique<unsigned char[]>(chunk_size);
+  chunk.size = chunk_size;
+  chunks_.push_back(std::move(chunk));
+  stats_.bytes_reserved += chunk_size;
+  stats_.chunks += 1;
+
+  const auto base = reinterpret_cast<std::uintptr_t>(chunks_.back().data.get());
+  const std::uintptr_t aligned = (base + (alignment - 1)) & ~static_cast<std::uintptr_t>(alignment - 1);
+  used_ = (aligned - base) + bytes;
+  stats_.bytes_allocated += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+}  // namespace econcast::sim

@@ -5,72 +5,112 @@
 // The channel tracks who transmits and who listens; the protocol layer asks
 // for packet outcomes and drains busy-toggle notifications to re-sample
 // exponential transitions.
+//
+// Hot-path engines: under HotpathEngine::kOptimized the channel maintains a
+// per-node count of listening neighbors, updated in O(degree) on each
+// listener-set change, so `listening_neighbors()` answers in O(1); under
+// kReference it answers with the pre-overhaul O(degree) scan. Both engines
+// produce identical answers (the randomized differential test drives them
+// against each other), so the knob trades only wall clock. The scan is also
+// exposed directly as `listening_neighbors_scan()` for cross-checks.
+//
+// All per-node storage can be placed in a caller-owned Arena; the channel
+// then allocates nothing after construction (the toggle drain and the packet
+// outcome refill reusable buffers).
 #ifndef ECONCAST_SIM_CHANNEL_H
 #define ECONCAST_SIM_CHANNEL_H
 
 #include <cstdint>
-#include <vector>
 
 #include "model/network.h"
+#include "sim/arena.h"
+#include "sim/hotpath.h"
+#include "sim/node_id.h"
 
 namespace econcast::sim {
 
 class Channel {
  public:
-  explicit Channel(const model::Topology& topology);
+  explicit Channel(const model::Topology& topology, Arena* arena = nullptr,
+                   HotpathEngine engine = HotpathEngine::kOptimized);
+
+  HotpathEngine engine() const noexcept { return engine_; }
 
   // --- listen-state notifications (from the protocol layer) -------------
   /// Must only be called while the node senses an idle medium (the protocol
   /// gates wake-ups on A_i(t)); entering listen mid-packet is a logic error
   /// for neighbors of an active transmitter.
-  void set_listening(std::size_t node, bool listening);
-  bool is_listening(std::size_t node) const;
+  void set_listening(NodeId node, bool listening);
+  bool is_listening(NodeId node) const;
 
   // --- transmissions -----------------------------------------------------
   /// Starts a burst: raises carrier for all neighbors. The transmitter must
   /// currently sense an idle medium and not be listening.
-  void begin_burst(std::size_t tx);
+  void begin_burst(NodeId tx);
 
   /// Starts one packet inside an ongoing burst: locks every neighbor that is
   /// listening, hears only this transmitter, and is not already mid-packet.
-  void begin_packet(std::size_t tx);
+  void begin_packet(NodeId tx);
 
   struct PacketOutcome {
-    std::vector<std::size_t> clean_receivers;  // got the whole packet, no overlap
-    std::uint32_t corrupted = 0;               // receptions voided by overlap
+    ArenaVector<NodeId> clean_receivers;  // got the whole packet, no overlap
+    std::uint32_t corrupted = 0;          // receptions voided by overlap
+
+    PacketOutcome() = default;
+    explicit PacketOutcome(Arena* arena)
+        : clean_receivers(ArenaAllocator<NodeId>(arena)) {}
   };
 
   /// Ends the current packet of `tx`, returning who received it cleanly.
-  PacketOutcome end_packet(std::size_t tx);
+  /// The returned outcome is a reusable buffer: it stays valid until the
+  /// next end_packet call (copy it to keep it longer).
+  const PacketOutcome& end_packet(NodeId tx);
 
   /// Ends the burst: drops carrier for all neighbors.
-  void end_burst(std::size_t tx);
+  void end_burst(NodeId tx);
 
   // --- queries -------------------------------------------------------------
   /// True when node i senses the medium busy (>= 1 transmitting neighbor),
   /// i.e. A_i(t) = 0.
-  bool busy_at(std::size_t node) const;
-  bool is_transmitting(std::size_t node) const;
+  bool busy_at(NodeId node) const;
+  bool is_transmitting(NodeId node) const;
   /// c(t) as seen by `node`: its listening neighbors (perfect estimate).
-  int listening_neighbors(std::size_t node) const;
+  /// O(1) under kOptimized, O(degree) under kReference.
+  int listening_neighbors(NodeId node) const;
+  /// The reference computation (always a scan), engine-independent. The
+  /// differential tests assert listening_neighbors() == this at every step.
+  int listening_neighbors_scan(NodeId node) const;
   int transmitting_count() const noexcept { return active_tx_; }
 
   /// Nodes whose carrier-sense state toggled since the last drain (each at
-  /// most once). The protocol re-samples these nodes' transitions.
-  std::vector<std::size_t> drain_toggled();
+  /// most once). The protocol re-samples these nodes' transitions. The
+  /// returned buffer is reused: it stays valid until the next drain.
+  const ArenaVector<NodeId>& drain_toggled();
+
+  const HotpathStats& hotpath_stats() const noexcept { return stats_; }
 
  private:
-  void mark_toggled(std::size_t node);
+  void mark_toggled(NodeId node);
+  /// Flips the listen bit and maintains the incremental neighbor counts.
+  /// Does NOT touch the reception lock — begin_burst's implicit listen-drop
+  /// keeps the (necessarily empty) lock state untouched, exactly like the
+  /// reference semantics.
+  void apply_listen_change(NodeId node, bool listening);
 
   const model::Topology& topo_;
-  std::vector<std::uint8_t> listening_;
-  std::vector<std::uint8_t> transmitting_;
-  std::vector<std::uint32_t> busy_count_;  // transmitting neighbors
-  std::vector<int> lock_tx_;               // which tx this listener decodes (-1 none)
-  std::vector<std::uint8_t> corrupt_;      // current reception overlapped
-  std::vector<std::uint8_t> toggled_flag_;
-  std::vector<std::size_t> toggled_;
+  HotpathEngine engine_;
+  ArenaVector<std::uint8_t> listening_;
+  ArenaVector<std::uint8_t> transmitting_;
+  ArenaVector<std::uint32_t> busy_count_;    // transmitting neighbors
+  ArenaVector<std::uint32_t> listen_count_;  // listening neighbors (optimized)
+  ArenaVector<NodeId> lock_tx_;  // which tx this listener decodes (kNoNode none)
+  ArenaVector<std::uint8_t> corrupt_;  // current reception overlapped
+  ArenaVector<std::uint8_t> toggled_flag_;
+  ArenaVector<NodeId> toggled_;
+  ArenaVector<NodeId> drained_;  // scratch handed out by drain_toggled()
+  PacketOutcome outcome_;        // scratch handed out by end_packet()
   int active_tx_ = 0;
+  mutable HotpathStats stats_;
 };
 
 }  // namespace econcast::sim

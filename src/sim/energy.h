@@ -4,7 +4,10 @@
 #ifndef ECONCAST_SIM_ENERGY_H
 #define ECONCAST_SIM_ENERGY_H
 
+#include <cstddef>
 #include <limits>
+
+#include "sim/arena.h"
 
 namespace econcast::sim {
 
@@ -44,6 +47,48 @@ class EnergyStore {
   double last_ = 0.0;
   double min_ = -std::numeric_limits<double>::infinity();
   double max_ = std::numeric_limits<double>::infinity();
+};
+
+/// Struct-of-arrays EnergyStore for a whole node population: the per-node
+/// balances live in parallel (optionally arena-backed) arrays, so the
+/// simulation inner loops touch one dense double per node instead of a
+/// scattered 7-field struct. The arithmetic is field-for-field identical to
+/// EnergyStore — same settle/clamp expressions in the same order — so a
+/// ledger slot and a store fed the same call sequence stay bit-equal (the
+/// unit tests assert this).
+class EnergyLedger {
+ public:
+  explicit EnergyLedger(Arena* arena = nullptr);
+
+  void reserve(std::size_t n);
+  /// Appends a node; returns its index.
+  std::size_t add(double harvest_rate, double initial_level);
+  std::size_t size() const noexcept { return harvest_.size(); }
+
+  /// Changes the instantaneous draw (state change). Settles the balance
+  /// first; `now` must be non-decreasing across calls on the same slot.
+  void set_draw(std::size_t i, double draw, double now) noexcept;
+
+  /// Storage level at `now` (>= last settle point), with clamping applied.
+  double level(std::size_t i, double now) const noexcept;
+
+  /// Total energy consumed (integral of draw) up to `now`.
+  double consumed(std::size_t i, double now) const noexcept;
+
+  /// See EnergyStore::set_bounds.
+  void set_bounds(std::size_t i, double min_level, double max_level) noexcept;
+
+  double harvest_rate(std::size_t i) const noexcept { return harvest_[i]; }
+  double draw(std::size_t i) const noexcept { return draw_[i]; }
+
+ private:
+  ArenaVector<double> harvest_;
+  ArenaVector<double> draw_;
+  ArenaVector<double> level_;
+  ArenaVector<double> consumed_;
+  ArenaVector<double> last_;
+  ArenaVector<double> min_;
+  ArenaVector<double> max_;
 };
 
 }  // namespace econcast::sim

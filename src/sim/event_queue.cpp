@@ -33,6 +33,10 @@ class EventQueueBackend {
   virtual const Event& peek() = 0;
   /// Removes and returns the (time, seq)-minimal stored event.
   virtual Event pop() = 0;
+  /// Removes every stored event for which `pred(event, ctx)` is true and
+  /// restores the backend's ordering invariants. Returns the removed count.
+  virtual std::size_t prune(bool (*pred)(const Event&, const void*),
+                            const void* ctx) = 0;
   virtual void clear() = 0;
   virtual void reserve(std::size_t n) = 0;
   virtual std::size_t size() const noexcept = 0;
@@ -44,6 +48,9 @@ namespace {
 /// The seed's implementation: a reservable vector heap.
 class BinaryHeapQueue final : public EventQueueBackend {
  public:
+  explicit BinaryHeapQueue(Arena* arena)
+      : heap_(ArenaAllocator<Event>(arena)) {}
+
   void push(const Event& event) override {
     heap_.push_back(event);
     std::push_heap(heap_.begin(), heap_.end(), EventLater{});
@@ -58,13 +65,24 @@ class BinaryHeapQueue final : public EventQueueBackend {
     return event;
   }
 
+  std::size_t prune(bool (*pred)(const Event&, const void*),
+                    const void* ctx) override {
+    const auto keep_end = std::remove_if(
+        heap_.begin(), heap_.end(),
+        [&](const Event& event) { return pred(event, ctx); });
+    const auto removed = static_cast<std::size_t>(heap_.end() - keep_end);
+    heap_.erase(keep_end, heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), EventLater{});
+    return removed;
+  }
+
   void clear() override { heap_.clear(); }
   void reserve(std::size_t n) override { heap_.reserve(n); }
   std::size_t size() const noexcept override { return heap_.size(); }
   std::size_t capacity() const noexcept override { return heap_.capacity(); }
 
  private:
-  std::vector<Event> heap_;
+  ArenaVector<Event> heap_;
 };
 
 /// Calendar queue with an overflow ladder (a ladder queue in the sense of
@@ -93,6 +111,8 @@ class BinaryHeapQueue final : public EventQueueBackend {
 /// backend against the binary heap with identical operation sequences.
 class CalendarQueue final : public EventQueueBackend {
  public:
+  explicit CalendarQueue(Arena* arena) : top_(ArenaAllocator<Event>(arena)) {}
+
   void push(const Event& event) override {
     ++count_;
     if (depth_ == 0 || event.time >= top_start_) {
@@ -126,6 +146,28 @@ class CalendarQueue final : public EventQueueBackend {
     cached_min_ = kNoCache;
     --count_;
     return event;
+  }
+
+  std::size_t prune(bool (*pred)(const Event&, const void*),
+                    const void* ctx) override {
+    std::size_t removed = 0;
+    const auto filter = [&](auto& events) {
+      const auto keep_end = std::remove_if(
+          events.begin(), events.end(),
+          [&](const Event& event) { return pred(event, ctx); });
+      removed += static_cast<std::size_t>(events.end() - keep_end);
+      events.erase(keep_end, events.end());
+    };
+    // Removing events changes no placement, so every structural invariant
+    // (rung spans, cur positions, top_start_) survives; find_min already
+    // copes with buckets and rungs emptied under it.
+    for (std::size_t i = 0; i < depth_; ++i)
+      for (std::size_t b = rungs_[i].cur; b < rungs_[i].nbuckets; ++b)
+        filter(rungs_[i].buckets[b]);
+    filter(top_);
+    count_ -= removed;
+    cached_min_ = kNoCache;
+    return removed;
   }
 
   void clear() override {
@@ -282,7 +324,10 @@ class CalendarQueue final : public EventQueueBackend {
   }
 
   std::vector<Rung> rungs_;  // pool; [0, depth_) active, coarse -> fine
-  std::vector<Event> top_;   // unsorted events at/beyond top_start_
+                             // (bucket capacities persist, so the pooled
+                             //  rungs stay on the heap rather than leaking
+                             //  abandoned blocks into the arena)
+  ArenaVector<Event> top_;   // unsorted events at/beyond top_start_
   double top_start_ = kAlwaysTop;
   std::size_t depth_ = 0;
   std::size_t count_ = 0;
@@ -290,18 +335,22 @@ class CalendarQueue final : public EventQueueBackend {
   std::size_t reserved_ = 0;
 };
 
-std::unique_ptr<EventQueueBackend> make_backend(QueueEngine engine) {
+std::unique_ptr<EventQueueBackend> make_backend(QueueEngine engine,
+                                                Arena* arena) {
   if (engine == QueueEngine::kCalendar)
-    return std::make_unique<CalendarQueue>();
-  return std::make_unique<BinaryHeapQueue>();
+    return std::make_unique<CalendarQueue>(arena);
+  return std::make_unique<BinaryHeapQueue>(arena);
 }
 
 }  // namespace
 
 // ------------------------------------------------------------------ facade --
 
-EventQueue::EventQueue(QueueEngine engine)
-    : engine_(engine), backend_(make_backend(engine)) {}
+EventQueue::EventQueue(QueueEngine engine, Arena* arena)
+    : engine_(engine),
+      backend_(make_backend(engine, arena)),
+      generations_(ArenaAllocator<std::uint64_t>(arena)),
+      slot_live_(ArenaAllocator<std::uint8_t>(arena)) {}
 
 EventQueue::~EventQueue() = default;
 EventQueue::EventQueue(EventQueue&&) noexcept = default;
@@ -309,18 +358,27 @@ EventQueue& EventQueue::operator=(EventQueue&&) noexcept = default;
 
 void EventQueue::reserve_for_nodes(std::size_t n) {
   reserve(capacity_for_nodes(n));
-  if (generations_.size() < n * kEventKindCount)
+  if (generations_.size() < n * kEventKindCount) {
     generations_.resize(n * kEventKindCount, 0);
+    slot_live_.resize(n * kEventKindCount, 0);
+  }
 }
 
-std::uint64_t& EventQueue::generation(std::uint32_t node, EventKind kind) {
-  const std::size_t slot =
+std::size_t EventQueue::slot(NodeId node, EventKind kind) {
+  const std::size_t index =
       static_cast<std::size_t>(node) * kEventKindCount +
       static_cast<std::size_t>(kind);
-  if (slot >= generations_.size())
-    generations_.resize((static_cast<std::size_t>(node) + 1) * kEventKindCount,
-                        0);
-  return generations_[slot];
+  if (index >= generations_.size()) {
+    const std::size_t want =
+        (static_cast<std::size_t>(node) + 1) * kEventKindCount;
+    generations_.resize(want, 0);
+    slot_live_.resize(want, 0);
+  }
+  return index;
+}
+
+std::uint64_t& EventQueue::generation(NodeId node, EventKind kind) {
+  return generations_[slot(node, kind)];
 }
 
 bool EventQueue::stale(const Event& e) const noexcept {
@@ -331,21 +389,34 @@ bool EventQueue::stale(const Event& e) const noexcept {
   return e.stamp != generations_[slot];
 }
 
-void EventQueue::push(double time, EventKind kind, std::uint32_t node) {
+void EventQueue::push(double time, EventKind kind, NodeId node) {
   backend_->push(Event{time, next_seq_++, kind, false, node, 0});
+  ++live_;  // durable events stay live until popped
   ++stats_.pushes;
   stats_.peak_live = std::max(stats_.peak_live, backend_->size());
+  maybe_compact();
 }
 
-void EventQueue::schedule(double time, EventKind kind, std::uint32_t node) {
-  const std::uint64_t gen = ++generation(node, kind);
+void EventQueue::schedule(double time, EventKind kind, NodeId node) {
+  const std::size_t s = slot(node, kind);
+  const std::uint64_t gen = ++generations_[s];
   backend_->push(Event{time, next_seq_++, kind, true, node, gen});
+  if (!slot_live_[s]) {
+    slot_live_[s] = 1;
+    ++live_;
+  }  // else the superseded event went stale: net live count unchanged
   ++stats_.pushes;
   stats_.peak_live = std::max(stats_.peak_live, backend_->size());
+  maybe_compact();
 }
 
-void EventQueue::cancel(std::uint32_t node, EventKind kind) {
-  ++generation(node, kind);
+void EventQueue::cancel(NodeId node, EventKind kind) {
+  const std::size_t s = slot(node, kind);
+  ++generations_[s];
+  if (slot_live_[s]) {
+    slot_live_[s] = 0;
+    --live_;
+  }
 }
 
 const Event* EventQueue::peek_live() {
@@ -370,11 +441,26 @@ Event EventQueue::pop() {
   if (peek_live() == nullptr)
     throw std::logic_error("pop from empty EventQueue");
   ++stats_.pops;
-  return backend_->pop();
+  const Event event = backend_->pop();
+  if (event.cancellable) slot_live_[slot(event.node, event.kind)] = 0;
+  --live_;
+  return event;
+}
+
+void EventQueue::maybe_compact() {
+  const std::size_t stored = backend_->size();
+  if (stored < kCompactionFloor || stored - live_ <= live_) return;
+  stats_.stale_drops += backend_->prune(
+      [](const Event& event, const void* self) {
+        return static_cast<const EventQueue*>(self)->stale(event);
+      },
+      this);
 }
 
 void EventQueue::clear() {
   backend_->clear();
+  std::fill(slot_live_.begin(), slot_live_.end(), 0);
+  live_ = 0;
   // Generations survive clear(): a cleared queue holds no events, so every
   // slot is trivially consistent either way.
 }

@@ -1,0 +1,24 @@
+#include "sim/hotpath.h"
+
+#include <stdexcept>
+
+namespace econcast::sim {
+
+std::string to_token(HotpathEngine engine) {
+  switch (engine) {
+    case HotpathEngine::kReference:
+      return "reference";
+    case HotpathEngine::kOptimized:
+      return "optimized";
+  }
+  throw std::invalid_argument("unknown HotpathEngine value");
+}
+
+HotpathEngine hotpath_engine_from_token(const std::string& token) {
+  if (token == "reference") return HotpathEngine::kReference;
+  if (token == "optimized") return HotpathEngine::kOptimized;
+  throw std::invalid_argument("unknown hot-path engine '" + token +
+                              "' (expected 'reference' or 'optimized')");
+}
+
+}  // namespace econcast::sim

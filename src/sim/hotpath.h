@@ -1,0 +1,39 @@
+// Hot-path engine selection for the simulation substrate, mirroring the
+// pluggable event-queue kernel: the optimized path (incremental listener
+// counts, SoA node state, arena-backed storage) is the default, and the
+// pre-overhaul reference path (O(degree) listener scans) stays selectable so
+// any run can be replayed under both and byte-diffed. The two engines are
+// RNG-stream-neutral by construction — they differ only in how the listener
+// count is obtained and where memory lives — so results never depend on the
+// choice; only wall clock does.
+#ifndef ECONCAST_SIM_HOTPATH_H
+#define ECONCAST_SIM_HOTPATH_H
+
+#include <cstdint>
+#include <string>
+
+namespace econcast::sim {
+
+enum class HotpathEngine {
+  kReference,  // pre-overhaul semantics: listener counts by O(degree) scan
+  kOptimized,  // incremental counts maintained in set_listening/begin_burst
+};
+
+/// Stable spellings for CLI flags, JSON manifests, and bench labels.
+std::string to_token(HotpathEngine engine);
+HotpathEngine hotpath_engine_from_token(const std::string& token);
+
+/// Counters the substrate accumulates while a scenario runs, surfaced as
+/// `hotpath_*` extras when SimConfig::report_hotpath_stats is set.
+struct HotpathStats {
+  std::uint64_t listener_queries = 0;  // listening_neighbors() calls
+  std::uint64_t listener_scans = 0;    // of which answered by O(degree) scan
+  std::uint64_t listen_toggles = 0;    // listener-set changes applied
+  std::uint64_t toggle_drains = 0;     // drain_toggled() calls
+  std::uint64_t arena_bytes = 0;       // bytes the scenario arena handed out
+  std::uint64_t arena_chunks = 0;      // chunks the scenario arena reserved
+};
+
+}  // namespace econcast::sim
+
+#endif  // ECONCAST_SIM_HOTPATH_H

@@ -1,0 +1,19 @@
+// The one node-id type of the simulation substrate. model::Topology is
+// addressed with std::size_t; the event queue and the channel narrow once at
+// that boundary and stay on a 32-bit id thereafter — 4 bytes per slot is
+// what keeps the hot per-node arrays (listener locks, event slots) dense.
+#ifndef ECONCAST_SIM_NODE_ID_H
+#define ECONCAST_SIM_NODE_ID_H
+
+#include <cstdint>
+
+namespace econcast::sim {
+
+using NodeId = std::uint32_t;
+
+/// Sentinel "no node" (e.g. a listener locked onto no transmitter).
+inline constexpr NodeId kNoNode = ~NodeId{0};
+
+}  // namespace econcast::sim
+
+#endif  // ECONCAST_SIM_NODE_ID_H

@@ -6,9 +6,12 @@
 
 #include "econcast/multiplier.h"
 #include "sim/event_queue.h"
+#include "sim/node_id.h"
 #include "util/random.h"
 
 namespace econcast::testbed {
+
+using sim::NodeId;
 
 namespace {
 
@@ -95,12 +98,12 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
            packet;
   };
 
-  auto schedule_transition = [&](std::size_t i) {
+  auto schedule_transition = [&](NodeId i) {
     Node& nd = nodes[i];
     // The queue owns invalidation: a re-schedule (or a bare cancel when the
     // node is gated) obsoletes the pending transition, which is pruned
     // lazily — the same contract proto::Simulation uses.
-    queue.cancel(static_cast<std::uint32_t>(i), sim::EventKind::kTransition);
+    queue.cancel(i, sim::EventKind::kTransition);
     if (transmitter >= 0) return;  // gated: resampled on release
     double rate = 0.0;
     switch (nd.state) {
@@ -115,19 +118,18 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
     }
     if (rate <= 0.0) return;
     queue.schedule(now + rng.exponential(rate), sim::EventKind::kTransition,
-                   static_cast<std::uint32_t>(i));
+                   i);
   };
   auto resample_all_idle = [&] {
-    for (std::size_t i = 0; i < cfg.n; ++i)
+    for (NodeId i = 0; i < cfg.n; ++i)
       if (nodes[i].state != S::kTransmit) schedule_transition(i);
   };
 
-  auto start_packet = [&](std::size_t i) {
-    queue.push(now + packet, sim::EventKind::kPacketEnd,
-               static_cast<std::uint32_t>(i));
+  auto start_packet = [&](NodeId i) {
+    queue.push(now + packet, sim::EventKind::kPacketEnd, i);
   };
 
-  auto begin_burst = [&](std::size_t i) {
+  auto begin_burst = [&](NodeId i) {
     set_state(i, S::kTransmit);
     transmitter = static_cast<int>(i);
     burst_packets = 0;
@@ -135,7 +137,7 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
     start_packet(i);
   };
 
-  auto finish_burst = [&](std::size_t i) {
+  auto finish_burst = [&](NodeId i) {
     transmitter = -1;
     if (now >= cfg.warmup_ms && burst_any) ++result.bursts;
     set_state(i, S::kListen);  // x -> l
@@ -171,10 +173,9 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
   };
 
   // --- initialization ------------------------------------------------------
-  for (std::size_t i = 0; i < cfg.n; ++i) {
+  for (NodeId i = 0; i < cfg.n; ++i) {
     schedule_transition(i);
-    queue.push(cfg.tau_ms * nodes[i].drift, sim::EventKind::kIntervalEnd,
-               static_cast<std::uint32_t>(i));
+    queue.push(cfg.tau_ms * nodes[i].drift, sim::EventKind::kIntervalEnd, i);
   }
   queue.push(cfg.warmup_ms, sim::EventKind::kCustom, 0);
 
@@ -182,7 +183,7 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
   while (!queue.empty() && queue.top().time <= cfg.duration_ms) {
     const sim::Event e = queue.pop();
     now = e.time;
-    const std::size_t i = e.node;
+    const NodeId i = e.node;
     switch (e.kind) {
       case sim::EventKind::kTransition: {
         Node& nd = nodes[i];
@@ -224,8 +225,7 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
         if (now >= cfg.warmup_ms)
           result.ping_distribution.add(
               static_cast<std::size_t>(pending_estimate));
-        queue.push(now + hw.ping_interval_ms, sim::EventKind::kPingSlot,
-                   static_cast<std::uint32_t>(i));
+        queue.push(now + hw.ping_interval_ms, sim::EventKind::kPingSlot, i);
         break;
       }
       case sim::EventKind::kPingSlot: {
@@ -251,7 +251,7 @@ TestbedResult run_testbed(const TestbedConfig& cfg) {
         nd.interval_start_balance = level;
         ++nd.interval_k;
         queue.push(now + cfg.tau_ms * nd.drift, sim::EventKind::kIntervalEnd,
-                   static_cast<std::uint32_t>(i));
+                   i);
         if (nd.state != S::kTransmit && transmitter < 0)
           schedule_transition(i);
         break;

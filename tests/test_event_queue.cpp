@@ -104,6 +104,34 @@ TEST_P(EventQueueEngines, ReserveForNodesAppliesSharedPolicy) {
   EXPECT_EQ(EventQueue::capacity_for_nodes(100), 408u);
 }
 
+TEST_P(EventQueueEngines, CompactionBoundsStaleAccumulation) {
+  // A sleeping node's far-future wake-up superseded over and over: pure
+  // lazy deletion would store every stale copy until the end of time (the
+  // fig. 6 workload peaks at ~500x the live population). Compaction must
+  // keep the stored count within a small multiple of the live count while
+  // preserving the live events and the conservation identity.
+  EventQueue q(GetParam());
+  const std::uint32_t n = 8;
+  q.reserve_for_nodes(n);
+  for (int round = 0; round < 4000; ++round)
+    for (std::uint32_t node = 0; node < n; ++node)
+      q.schedule(1e9 + static_cast<double>(round * n + node),
+                 EventKind::kTransition, node);
+  q.push(0.5, EventKind::kPacketEnd, 0);
+  // 8 live wake-ups + 1 durable event; anything near 32001 means stale
+  // copies survived.
+  EXPECT_LE(q.size(), 2u * (n + 1) + 64u);
+  EXPECT_DOUBLE_EQ(q.pop().time, 0.5);
+  for (std::uint32_t node = 0; node < n; ++node) {
+    const Event e = q.pop();
+    EXPECT_EQ(e.node, node);  // last-scheduled round, ascending times
+    EXPECT_DOUBLE_EQ(e.time, 1e9 + static_cast<double>(3999 * n + node));
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.stats().pushes,
+            q.stats().pops + q.stats().stale_drops);
+}
+
 TEST_P(EventQueueEngines, ManySimultaneousEventsPopInPushOrder) {
   // Degenerate for a time-bucketed backend: every event at the same time.
   EventQueue q(GetParam());

@@ -1,0 +1,338 @@
+// Tests for the simulation hot-path overhaul: the scenario arena and its
+// allocator, the incremental listener counts (randomized differential test
+// against the reference scan), cross-engine simulation equality (reference
+// and optimized engines must produce bit-identical results), the estimator
+// validation sweep, and the opt-in hotpath_* extras.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "econcast/estimator.h"
+#include "econcast/simulation.h"
+#include "model/network.h"
+#include "sim/arena.h"
+#include "sim/channel.h"
+#include "sim/hotpath.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace econcast;
+using namespace econcast::sim;
+
+// ----------------------------------------------------------------- arena --
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  const void* a = arena.allocate(3, 1);
+  const void* b = arena.allocate(8, 8);
+  const void* c = arena.allocate(100, 64);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+}
+
+TEST(Arena, GrowsAcrossChunksAndCountsStats) {
+  Arena arena;
+  // Larger than the first chunk: forces at least one growth.
+  for (int i = 0; i < 8; ++i) (void)arena.allocate(1 << 15, 8);
+  const Arena::Stats stats = arena.stats();
+  EXPECT_GE(stats.bytes_allocated, 8u * (1u << 15));
+  EXPECT_GE(stats.bytes_reserved, stats.bytes_allocated);
+  EXPECT_GE(stats.chunks, 2u);
+}
+
+TEST(Arena, VectorsUseArenaMemoryAndHeapFallback) {
+  Arena arena;
+  ArenaVector<int> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_EQ(v[999], 999);
+  EXPECT_GT(arena.stats().bytes_allocated, 0u);
+
+  // Default-constructed allocator: plain heap, usable without any arena.
+  ArenaVector<int> heap;
+  for (int i = 0; i < 1000; ++i) heap.push_back(i);
+  EXPECT_EQ(heap, v);
+
+  // Allocators compare by arena identity (is_always_equal is false).
+  EXPECT_FALSE(ArenaAllocator<int>(&arena) == ArenaAllocator<int>());
+  EXPECT_TRUE(ArenaAllocator<int>(&arena) == ArenaAllocator<int>(&arena));
+}
+
+// ----------------------------------------- differential channel coverage --
+
+// Drives a random listen/burst/packet schedule through one optimized-engine
+// channel and checks the incremental listener counts against the reference
+// scan after every mutation. A reference-engine channel runs the same
+// schedule in lockstep so the two engines' visible behavior (counts,
+// outcomes, toggle drains) must match call for call.
+TEST(ChannelDifferential, RandomScheduleMatchesReferenceScan) {
+  util::Rng topo_rng(7);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t n = 6 + static_cast<std::size_t>(round) * 5;
+    const auto topo = model::Topology::random_gnp(n, 0.3, topo_rng);
+
+    Arena arena;
+    Channel opt(topo, &arena, HotpathEngine::kOptimized);
+    Channel ref(topo, nullptr, HotpathEngine::kReference);
+    util::Rng rng(1000 + static_cast<std::uint64_t>(round));
+    NodeId tx_active = kNoNode;
+    bool packet_open = false;
+
+    auto check_all = [&] {
+      for (NodeId i = 0; i < n; ++i) {
+        ASSERT_EQ(opt.listening_neighbors(i), opt.listening_neighbors_scan(i))
+            << "node " << i;
+        ASSERT_EQ(opt.listening_neighbors(i), ref.listening_neighbors(i))
+            << "node " << i;
+      }
+    };
+
+    for (int step = 0; step < 2000; ++step) {
+      const double u = rng.uniform();
+      if (u < 0.55) {
+        // Toggle a random node's listen state, respecting the channel's
+        // preconditions (idle medium, not the transmitter).
+        const auto i = static_cast<NodeId>(rng.uniform() *
+                                           static_cast<double>(n));
+        if (i == tx_active || opt.busy_at(i) || opt.is_transmitting(i))
+          continue;
+        const bool target = !opt.is_listening(i);
+        opt.set_listening(i, target);
+        ref.set_listening(i, target);
+      } else if (u < 0.75 && tx_active == kNoNode) {
+        const auto i = static_cast<NodeId>(rng.uniform() *
+                                           static_cast<double>(n));
+        if (opt.busy_at(i) || opt.is_listening(i)) continue;
+        opt.begin_burst(i);
+        ref.begin_burst(i);
+        tx_active = i;
+      } else if (u < 0.85 && tx_active != kNoNode && !packet_open) {
+        opt.begin_packet(tx_active);
+        ref.begin_packet(tx_active);
+        packet_open = true;
+      } else if (u < 0.95 && packet_open) {
+        const Channel::PacketOutcome& a = opt.end_packet(tx_active);
+        const Channel::PacketOutcome& b = ref.end_packet(tx_active);
+        ASSERT_EQ(a.corrupted, b.corrupted);
+        ASSERT_EQ(std::vector<NodeId>(a.clean_receivers.begin(),
+                                      a.clean_receivers.end()),
+                  std::vector<NodeId>(b.clean_receivers.begin(),
+                                      b.clean_receivers.end()));
+        packet_open = false;
+      } else if (tx_active != kNoNode && !packet_open) {
+        opt.end_burst(tx_active);
+        ref.end_burst(tx_active);
+        tx_active = kNoNode;
+      }
+      check_all();
+      if (rng.uniform() < 0.1) {
+        const ArenaVector<NodeId>& a = opt.drain_toggled();
+        std::vector<NodeId> drained_opt(a.begin(), a.end());
+        const ArenaVector<NodeId>& b = ref.drain_toggled();
+        ASSERT_EQ(drained_opt, std::vector<NodeId>(b.begin(), b.end()));
+      }
+    }
+  }
+}
+
+TEST(ChannelDifferential, ScratchBuffersAreReusedNotReallocated) {
+  const auto topo = model::Topology::clique(8);
+  Arena arena;
+  Channel ch(topo, &arena, HotpathEngine::kOptimized);
+  for (NodeId i = 1; i < 8; ++i) ch.set_listening(i, true);
+  (void)ch.drain_toggled();
+  const Arena::Stats before = arena.stats();
+  // Steady state: bursts, packets and drains must not grow the arena.
+  for (int k = 0; k < 50; ++k) {
+    ch.begin_burst(0);
+    ch.begin_packet(0);
+    const Channel::PacketOutcome& outcome = ch.end_packet(0);
+    EXPECT_EQ(outcome.clean_receivers.size(), 7u);
+    ch.end_burst(0);
+    for (NodeId i = 1; i < 8; ++i) ch.set_listening(i, true);
+    (void)ch.drain_toggled();
+  }
+  EXPECT_EQ(arena.stats().bytes_allocated, before.bytes_allocated);
+}
+
+// ------------------------------------------------- cross-engine equality --
+
+proto::SimResult run_once(const model::NodeSet& nodes,
+                          const model::Topology& topo, proto::SimConfig cfg) {
+  proto::Simulation sim(nodes, topo, cfg);
+  return sim.run();
+}
+
+void expect_identical(const proto::SimResult& a, const proto::SimResult& b) {
+  EXPECT_EQ(a.measured_window, b.measured_window);
+  EXPECT_EQ(a.groupput, b.groupput);
+  EXPECT_EQ(a.anyput, b.anyput);
+  EXPECT_EQ(a.avg_power, b.avg_power);
+  EXPECT_EQ(a.listen_fraction, b.listen_fraction);
+  EXPECT_EQ(a.transmit_fraction, b.transmit_fraction);
+  EXPECT_EQ(a.final_eta, b.final_eta);
+  EXPECT_EQ(a.burst_lengths.count(), b.burst_lengths.count());
+  EXPECT_EQ(a.burst_lengths.mean(), b.burst_lengths.mean());
+  EXPECT_EQ(a.latencies.samples(), b.latencies.samples());
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.packets_received, b.packets_received);
+  EXPECT_EQ(a.bursts, b.bursts);
+  EXPECT_EQ(a.corrupted_receptions, b.corrupted_receptions);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.state_occupancy, b.state_occupancy);
+}
+
+TEST(HotpathEngines, GridSimulationIsBitIdentical) {
+  // The fig. 6 regime: non-clique grid, energy guard, adaptive multiplier.
+  const std::size_t k = 4;
+  const auto nodes = model::homogeneous(k * k, 10.0, 500.0, 500.0);
+  const auto topo = model::Topology::grid(k, k);
+  proto::SimConfig cfg;
+  cfg.sigma = 0.25;
+  cfg.duration = 5e4;
+  cfg.warmup = 2e4;
+  cfg.seed = 66 + k * k;
+  cfg.energy_guard = true;
+  cfg.initial_energy = 5e5;
+
+  cfg.hotpath_engine = HotpathEngine::kReference;
+  const proto::SimResult ref = run_once(nodes, topo, cfg);
+  cfg.hotpath_engine = HotpathEngine::kOptimized;
+  const proto::SimResult opt = run_once(nodes, topo, cfg);
+  expect_identical(ref, opt);
+  EXPECT_GT(opt.events_processed, 0u);
+  // The optimized engine answers counts without scanning; the reference
+  // engine scans on every query.
+  EXPECT_EQ(opt.hotpath_stats.listener_scans, 0u);
+  EXPECT_EQ(ref.hotpath_stats.listener_scans,
+            ref.hotpath_stats.listener_queries);
+}
+
+TEST(HotpathEngines, CliqueSimulationIsBitIdentical) {
+  const auto nodes = model::homogeneous(6, 10.0, 500.0, 500.0);
+  const auto topo = model::Topology::clique(6);
+  for (const auto mode : {model::Mode::kGroupput, model::Mode::kAnyput}) {
+    proto::SimConfig cfg;
+    cfg.mode = mode;
+    cfg.sigma = 0.5;
+    cfg.duration = 3e4;
+    cfg.seed = 21;
+    cfg.track_state_occupancy = true;
+    cfg.hotpath_engine = HotpathEngine::kReference;
+    const proto::SimResult ref = run_once(nodes, topo, cfg);
+    cfg.hotpath_engine = HotpathEngine::kOptimized;
+    const proto::SimResult opt = run_once(nodes, topo, cfg);
+    expect_identical(ref, opt);
+  }
+}
+
+TEST(HotpathEngines, DegradedEstimatorSimulationIsBitIdentical) {
+  // Binomial thinning draws RNG per estimate — the memoized listen/transmit
+  // rates must key on the estimate path's inputs identically.
+  const auto nodes = model::homogeneous(9, 10.0, 500.0, 500.0);
+  const auto topo = model::Topology::grid(3, 3);
+  proto::SimConfig cfg;
+  cfg.sigma = 0.5;
+  cfg.duration = 3e4;
+  cfg.seed = 5;
+  cfg.estimator.kind = proto::EstimatorKind::kBinomialThinning;
+  cfg.estimator.detect_prob = 0.7;
+  cfg.hotpath_engine = HotpathEngine::kReference;
+  const proto::SimResult ref = run_once(nodes, topo, cfg);
+  cfg.hotpath_engine = HotpathEngine::kOptimized;
+  const proto::SimResult opt = run_once(nodes, topo, cfg);
+  expect_identical(ref, opt);
+}
+
+TEST(HotpathEngines, TokensRoundTrip) {
+  EXPECT_EQ(to_token(HotpathEngine::kReference), "reference");
+  EXPECT_EQ(to_token(HotpathEngine::kOptimized), "optimized");
+  EXPECT_EQ(hotpath_engine_from_token("reference"), HotpathEngine::kReference);
+  EXPECT_EQ(hotpath_engine_from_token("optimized"), HotpathEngine::kOptimized);
+  EXPECT_THROW(hotpath_engine_from_token("fast"), std::invalid_argument);
+  EXPECT_THROW(hotpath_engine_from_token(""), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- estimator --
+
+TEST(Estimator, ValidatesDetectProbForEveryKind) {
+  for (const auto kind :
+       {proto::EstimatorKind::kPerfect, proto::EstimatorKind::kBinomialThinning,
+        proto::EstimatorKind::kExistenceOnly}) {
+    proto::EstimatorConfig cfg;
+    cfg.kind = kind;
+    cfg.detect_prob = -0.1;
+    EXPECT_THROW(proto::ListenerEstimator{cfg}, std::invalid_argument);
+    cfg.detect_prob = 1.1;
+    EXPECT_THROW(proto::ListenerEstimator{cfg}, std::invalid_argument);
+    cfg.detect_prob = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(proto::ListenerEstimator{cfg}, std::invalid_argument);
+    // The boundary values are legal for every kind.
+    cfg.detect_prob = 0.0;
+    EXPECT_NO_THROW(proto::ListenerEstimator{cfg});
+    cfg.detect_prob = 1.0;
+    EXPECT_NO_THROW(proto::ListenerEstimator{cfg});
+  }
+}
+
+TEST(Estimator, BoundaryDetectProbsAreDeterministic) {
+  util::Rng rng(3);
+  proto::EstimatorConfig cfg;
+  cfg.kind = proto::EstimatorKind::kBinomialThinning;
+  cfg.detect_prob = 0.0;
+  const proto::ListenerEstimator none(cfg);
+  cfg.detect_prob = 1.0;
+  const proto::ListenerEstimator all(cfg);
+  for (int c = 0; c <= 8; ++c) {
+    EXPECT_EQ(none.estimate(c, rng), 0);
+    EXPECT_EQ(all.estimate(c, rng), c);
+  }
+}
+
+TEST(Estimator, ZeroListenersEstimateZeroForEveryKind) {
+  util::Rng rng(4);
+  for (const auto kind :
+       {proto::EstimatorKind::kPerfect, proto::EstimatorKind::kBinomialThinning,
+        proto::EstimatorKind::kExistenceOnly}) {
+    proto::EstimatorConfig cfg;
+    cfg.kind = kind;
+    cfg.detect_prob = 0.5;
+    const proto::ListenerEstimator est(cfg);
+    EXPECT_EQ(est.estimate(0, rng), 0);
+  }
+}
+
+TEST(Estimator, RejectsCorruptedKind) {
+  proto::EstimatorConfig cfg;
+  cfg.kind = static_cast<proto::EstimatorKind>(250);
+  EXPECT_THROW(proto::ListenerEstimator{cfg}, std::invalid_argument);
+}
+
+// ----------------------------------------------------------- stats extras --
+
+TEST(HotpathStats, CollectedOnSimResultAndArenaBacked) {
+  const auto nodes = model::homogeneous(9, 10.0, 500.0, 500.0);
+  const auto topo = model::Topology::grid(3, 3);
+  proto::SimConfig cfg;
+  cfg.sigma = 0.5;
+  cfg.duration = 2e4;
+  cfg.seed = 9;
+  const proto::SimResult r = run_once(nodes, topo, cfg);
+  EXPECT_GT(r.hotpath_stats.listener_queries, 0u);
+  EXPECT_GT(r.hotpath_stats.listen_toggles, 0u);
+  EXPECT_GT(r.hotpath_stats.toggle_drains, 0u);
+  EXPECT_GT(r.hotpath_stats.arena_bytes, 0u);
+  EXPECT_GT(r.hotpath_stats.arena_chunks, 0u);
+}
+
+}  // namespace

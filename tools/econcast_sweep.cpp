@@ -2,8 +2,8 @@
 // checkpoint/resume.
 //
 //   econcast_sweep <manifest.json> [--results PATH] [--threads N]
-//                  [--limit N] [--engine NAME] [--fresh] [--progress]
-//                  [--quiet]
+//                  [--limit N] [--engine NAME] [--hotpath NAME] [--fresh]
+//                  [--progress] [--quiet]
 //
 // Completed cells stream to the results JSONL next to the manifest (or
 // --results). Re-running the same command resumes: the completed prefix is
@@ -12,8 +12,9 @@
 // uninterrupted run. --limit N checkpoints after N new cells and exits,
 // which is how CI exercises the kill/resume path deterministically.
 // --engine overrides the event-queue backend for every discrete-event cell
-// (binary-heap or calendar); backends cannot change results, so mixing
-// engines across a resumed checkpoint is safe.
+// (binary-heap or calendar); --hotpath overrides the simulator hot-path
+// engine for every EconCast cell (reference or optimized). Neither knob can
+// change results, so mixing them across a resumed checkpoint is safe.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -25,14 +26,15 @@
 
 #include "runner/sweep_session.h"
 #include "sim/event_queue.h"
+#include "sim/hotpath.h"
 
 namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <manifest.json> [--results PATH] [--threads N]\n"
-               "       [--limit N] [--engine NAME] [--fresh] [--progress]\n"
-               "       [--quiet]\n"
+               "       [--limit N] [--engine NAME] [--hotpath NAME]\n"
+               "       [--fresh] [--progress] [--quiet]\n"
                "\n"
                "  --results PATH  results JSONL (default: manifest path with\n"
                "                  .json replaced by .results.jsonl)\n"
@@ -42,6 +44,9 @@ namespace {
                "  --engine NAME   event-queue backend for the simulated\n"
                "                  cells: binary-heap or calendar (results\n"
                "                  are identical; only wall clock changes)\n"
+               "  --hotpath NAME  simulator hot-path engine for the EconCast\n"
+               "                  cells: reference or optimized (results are\n"
+               "                  identical; only wall clock changes)\n"
                "  --fresh         discard an existing results file first\n"
                "  --progress      print a line per completed cell to stderr\n"
                "  --quiet         suppress the completion summary\n",
@@ -71,6 +76,7 @@ int main(int argc, char** argv) {
   std::string manifest_path;
   std::string results_path;
   std::string engine;
+  std::string hotpath;
   std::size_t threads = 0;
   std::size_t limit = 0;
   bool fresh = false;
@@ -93,6 +99,14 @@ int main(int argc, char** argv) {
       engine = value();
       try {
         (void)econcast::sim::queue_engine_from_token(engine);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--hotpath") == 0) {
+      hotpath = value();
+      try {
+        (void)econcast::sim::hotpath_engine_from_token(hotpath);
       } catch (const std::invalid_argument& e) {
         std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
         usage(argv[0]);
@@ -129,6 +143,7 @@ int main(int argc, char** argv) {
 
     runner::SweepManifest manifest = runner::load_manifest(manifest_path);
     if (!engine.empty()) manifest.queue_engine = engine;
+    if (!hotpath.empty()) manifest.hotpath_engine = hotpath;
 
     runner::SweepSession session(std::move(manifest), results_path, options);
     const std::size_t resumed = session.completed_cells();

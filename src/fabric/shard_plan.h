@@ -1,0 +1,105 @@
+// Sharding a sweep manifest into contiguous cell-index ranges, and the
+// on-disk layout of a sharded ("fabric") sweep.
+//
+// Because every cell's name and seed derive from its *global* expansion
+// index (runner::derive_seed(base_seed, index) — PR 3), a shard is nothing
+// but a contiguous index range handed to a range-restricted
+// runner::SweepSession: the shard's results JSONL carries globally-indexed
+// records, so concatenating the shard files of a partition of
+// [0, cell_count) in shard order reproduces the single-process results file
+// byte for byte. ShardPlan is the one place that partition is computed, and
+// plan.json pins it on disk so every worker and the merger agree on it.
+//
+// Layout, for a manifest at <dir>/<name>.json:
+//   <dir>/<name>.fabric/                     fabric_dir()
+//     plan.json                              the pinned ShardPlan
+//     shard-<i>-of-<k>.jsonl                 shard_results_path()
+//     shard-<i>-of-<k>.claim.json            shard_claim_path() (claim.h)
+//   <dir>/<name>.results.jsonl               merged_results_path()
+// The merged path equals runner::SweepSession::default_results_path, so a
+// fabric run lands exactly where a single-process `econcast_sweep` run of
+// the same manifest would.
+#ifndef ECONCAST_FABRIC_SHARD_PLAN_H
+#define ECONCAST_FABRIC_SHARD_PLAN_H
+
+#include <cstddef>
+#include <string>
+
+namespace econcast::fabric {
+
+/// One contiguous cell-index range [begin, end) of a sharded sweep.
+struct ShardRange {
+  std::size_t index = 0;  // shard number in [0, count)
+  std::size_t count = 0;  // total shards of the plan
+  std::size_t begin = 0;  // global cell index, inclusive
+  std::size_t end = 0;    // global cell index, exclusive
+
+  std::size_t size() const noexcept { return end - begin; }
+};
+
+/// The deterministic partition of [0, total_cells) into `shard_count`
+/// contiguous ranges: shard i covers [i*total/k, (i+1)*total/k), so sizes
+/// differ by at most one and the ranges tile the expansion exactly. More
+/// shards than cells is allowed (the surplus shards are empty and trivially
+/// complete).
+class ShardPlan {
+ public:
+  /// Throws std::invalid_argument when shard_count is zero.
+  ShardPlan(std::size_t total_cells, std::size_t shard_count);
+
+  std::size_t total_cells() const noexcept { return total_cells_; }
+  std::size_t shard_count() const noexcept { return shard_count_; }
+
+  /// The range of shard `i`; throws std::out_of_range for i >= shard_count.
+  ShardRange shard(std::size_t i) const;
+
+ private:
+  std::size_t total_cells_ = 0;
+  std::size_t shard_count_ = 0;
+};
+
+/// "<manifest path minus trailing .json>.fabric" — the per-manifest
+/// directory holding the plan, shard results and shard claims.
+std::string fabric_dir(const std::string& manifest_path);
+
+/// fabric_dir()/shard-<i>-of-<k>.jsonl
+std::string shard_results_path(const std::string& manifest_path,
+                               std::size_t shard, std::size_t shard_count);
+
+/// fabric_dir()/shard-<i>-of-<k>.claim.json
+std::string shard_claim_path(const std::string& manifest_path,
+                             std::size_t shard, std::size_t shard_count);
+
+/// fabric_dir()/plan.json
+std::string plan_path(const std::string& manifest_path);
+
+/// Where the merger writes the canonical index-ordered results file —
+/// identical to runner::SweepSession::default_results_path(manifest_path).
+std::string merged_results_path(const std::string& manifest_path);
+
+/// Writes plan.json if absent (atomically), or validates an existing one:
+/// a plan already pinned with a different total or shard count throws
+/// std::runtime_error naming the file and both values — one manifest can
+/// only ever be sharded one way at a time. Creates fabric_dir() as needed.
+/// Returns the pinned plan.
+ShardPlan pin_plan(const std::string& manifest_path, std::size_t total_cells,
+                   std::size_t shard_count);
+
+/// Loads a pinned plan.json. Throws std::runtime_error when missing or
+/// malformed.
+ShardPlan load_plan(const std::string& manifest_path);
+
+/// True when plan.json exists for this manifest.
+bool plan_exists(const std::string& manifest_path);
+
+/// Number of *complete* ('\n'-terminated) lines in `path`; 0 when the file
+/// does not exist. A read-only progress probe: SweepSession appends one
+/// line per completed cell in index order, so this equals the number of
+/// checkpointed cells without parsing (and without truncating a partial
+/// trailing record the way opening a SweepSession would — safe to call on
+/// a shard file another process is writing).
+std::size_t complete_line_count(const std::string& path);
+
+}  // namespace econcast::fabric
+
+#endif  // ECONCAST_FABRIC_SHARD_PLAN_H

@@ -40,7 +40,15 @@ SweepSession::SweepSession(SweepManifest manifest, std::string results_path,
     for (Scenario& scenario : batch_)
       protocol::set_hotpath_engine(scenario.protocol, engine);
   }
-  completed_.reserve(batch_.size());
+  begin_ = options_.cell_begin;
+  end_ = options_.cell_end == 0 ? batch_.size() : options_.cell_end;
+  if (begin_ > end_ || end_ > batch_.size())
+    throw std::invalid_argument(
+        "sweep '" + manifest_.spec.name() + "': cell range [" +
+        std::to_string(begin_) + ", " + std::to_string(end_) +
+        ") is not a subrange of the " + std::to_string(batch_.size()) +
+        "-cell expansion");
+  completed_.reserve(cell_count());
   load_existing();
 }
 
@@ -92,11 +100,13 @@ void SweepSession::load_existing() {
   std::uintmax_t good_bytes = 0;
   while (std::getline(in, line)) {
     if (in.eof()) break;  // no trailing '\n': a kill mid-write — truncate it
-    const std::size_t index = completed_.size();
-    if (index >= batch_.size())
+    const std::size_t index = begin_ + completed_.size();
+    if (index >= end_)
       throw std::runtime_error(
-          "results file '" + results_path_ + "' has more cells than sweep '" +
-          manifest_.spec.name() + "' expands to");
+          "results file '" + results_path_ + "' has more cells than the " +
+          std::to_string(cell_count()) + "-cell range [" +
+          std::to_string(begin_) + ", " + std::to_string(end_) +
+          ") of sweep '" + manifest_.spec.name() + "'");
     const Value record = util::json::parse(line);
     const Object& o = record.as_object();
     const auto recorded_index =
@@ -108,9 +118,10 @@ void SweepSession::load_existing() {
         recorded_seed != cell_seed(index))
       throw std::runtime_error(
           "results file '" + results_path_ + "' line " +
-          std::to_string(index + 1) + " does not match sweep '" +
-          manifest_.spec.name() + "' cell " + std::to_string(index) + " ('" +
-          batch_[index].name + "'): the file belongs to a different manifest");
+          std::to_string(completed_.size() + 1) +
+          " does not match sweep '" + manifest_.spec.name() + "' cell " +
+          std::to_string(index) + " ('" + batch_[index].name +
+          "'): the file belongs to a different manifest or shard");
     completed_.push_back(protocol::sim_result_from_json(o.at("result")));
     good_bytes += line.size() + 1;
   }
@@ -126,8 +137,9 @@ void SweepSession::load_existing() {
 }
 
 std::size_t SweepSession::run(std::size_t limit) {
-  const std::size_t offset = completed_.size();
-  std::size_t todo = batch_.size() - offset;
+  // `offset` is the global index of the first cell still to run.
+  const std::size_t offset = begin_ + completed_.size();
+  std::size_t todo = end_ - offset;
   if (limit > 0 && limit < todo) todo = limit;
   if (todo == 0) return 0;
 
@@ -162,10 +174,10 @@ std::size_t SweepSession::run(std::size_t limit) {
       ++next_flush;
       if (options_.on_cell_done) {
         ScenarioProgress global;
-        global.index = completed_.size() - 1;
+        global.index = begin_ + completed_.size() - 1;  // global cell index
         global.done = completed_.size();
-        global.total = batch_.size();
-        global.scenario = &batch_[completed_.size() - 1];
+        global.total = cell_count();
+        global.scenario = &batch_[global.index];
         global.result = &completed_.back();
         options_.on_cell_done(global);
       }
@@ -181,7 +193,7 @@ BatchResult SweepSession::results() const {
   if (!complete())
     throw std::logic_error("sweep '" + manifest_.spec.name() + "' has " +
                            std::to_string(completed_.size()) + "/" +
-                           std::to_string(batch_.size()) +
+                           std::to_string(cell_count()) +
                            " cells completed; run() it to completion first");
   BatchResult out;
   out.results = completed_;

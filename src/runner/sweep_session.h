@@ -35,11 +35,21 @@ class SweepSession {
     std::size_t num_threads = 0;
     /// Executor to submit to; null = exec::Executor::shared().
     std::shared_ptr<exec::Executor> executor;
-    /// Per-cell completion hook with session-global numbers: `index` is the
-    /// cell's manifest index and `done`/`total` count completed cells
-    /// including those loaded from a previous run. Serialized; invoked after
-    /// the cell's line has been appended to the results file.
+    /// Per-cell completion hook: `index` is the cell's global manifest index
+    /// and `done`/`total` count the session's completed cells including
+    /// those loaded from a previous run. Serialized; invoked after the
+    /// cell's line has been appended to the results file.
     std::function<void(const ScenarioProgress&)> on_cell_done;
+    /// Restrict the session to the contiguous expansion range
+    /// [cell_begin, cell_end) — the primitive behind sharded sweeps
+    /// (src/fabric). cell_end == 0 means "through the last cell". The
+    /// results file then holds exactly that range, with every record still
+    /// keyed by *global* cell index/name/seed, so concatenating the files
+    /// of a partition of [0, cell_count) in order reproduces the
+    /// whole-sweep results file byte for byte. The constructor throws
+    /// std::invalid_argument on inverted or out-of-range bounds.
+    std::size_t cell_begin = 0;
+    std::size_t cell_end = 0;
   };
 
   /// Opens a session: expands the manifest, loads the completed prefix from
@@ -60,9 +70,15 @@ class SweepSession {
   /// "<path minus trailing .json>.results.jsonl".
   static std::string default_results_path(const std::string& manifest_path);
 
-  std::size_t cell_count() const noexcept { return batch_.size(); }
+  /// Number of cells this session owns — the whole expansion unless Options
+  /// restricted it to a range.
+  std::size_t cell_count() const noexcept { return end_ - begin_; }
   std::size_t completed_cells() const noexcept { return completed_.size(); }
-  bool complete() const noexcept { return completed_.size() == batch_.size(); }
+  bool complete() const noexcept { return completed_.size() == cell_count(); }
+  /// Global index of the first / one-past-last cell this session owns.
+  std::size_t cell_begin() const noexcept { return begin_; }
+  std::size_t cell_end() const noexcept { return end_; }
+  /// The *full* expansion, indexed by global cell index (not range-local).
   const std::vector<Scenario>& cells() const noexcept { return batch_; }
   const std::string& results_path() const noexcept { return results_path_; }
   const SweepManifest& manifest() const noexcept { return manifest_; }
@@ -75,8 +91,8 @@ class SweepSession {
   /// rethrown.
   std::size_t run(std::size_t limit = 0);
 
-  /// Index-ordered results and summary over the whole sweep. Requires
-  /// complete() (throws std::logic_error otherwise).
+  /// Index-ordered results and summary over this session's cell range.
+  /// Requires complete() (throws std::logic_error otherwise).
   BatchResult results() const;
 
  private:
@@ -88,8 +104,12 @@ class SweepSession {
   SweepManifest manifest_;
   std::string results_path_;
   Options options_;
-  std::vector<Scenario> batch_;                 // full expansion
-  std::vector<protocol::SimResult> completed_;  // prefix, mirrors the file
+  std::vector<Scenario> batch_;  // full expansion
+  std::size_t begin_ = 0;        // session range [begin_, end_)
+  std::size_t end_ = 0;
+  /// Completed prefix of the session range, mirroring the file: completed_
+  /// holds cells [begin_, begin_ + completed_.size()).
+  std::vector<protocol::SimResult> completed_;
 };
 
 }  // namespace econcast::runner

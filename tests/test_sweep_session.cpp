@@ -579,6 +579,54 @@ TEST(SweepSession, TruncatedMidLineResumesByteIdentically) {
   EXPECT_EQ(slurp(dir / "killed.jsonl"), reference);
 }
 
+TEST(SweepSession, TruncatedMidEscapeSequenceResumesByteIdentically) {
+  // The hardest truncation point: inside a two-byte JSON escape. A sweep
+  // name containing a quote serializes as \" in every record's "name"; kill
+  // the writer between the backslash and the quote and the file ends in a
+  // lone backslash inside an open string. The partial line must still be
+  // detected and discarded (no newline terminator), never half-parsed.
+  const fs::path dir = test_dir();
+  proto::SimConfig cfg;
+  cfg.duration = 4e3;
+  cfg.warmup = 5e2;
+  const runner::SweepManifest manifest(
+      runner::SweepSpec("mini\"quoted")
+          .protocols({protocol::econcast_spec(cfg),
+                      protocol::p4_spec(model::Mode::kGroupput, 0.5)})
+          .node_counts({3, 4})
+          .replicates(2),
+      /*seed=*/7, true);
+
+  runner::SweepSession full(manifest, (dir / "full.jsonl").string());
+  full.run();
+  const std::string reference = slurp(dir / "full.jsonl");
+
+  {
+    runner::SweepSession part(manifest, (dir / "killed.jsonl").string());
+    part.run(4);
+  }
+  std::string bytes = slurp(dir / "killed.jsonl");
+  // Cut record 4 right after the backslash of the \" escape in its name.
+  const std::size_t third_newline = [&] {
+    std::size_t at = 0;
+    for (int k = 0; k < 3; ++k) at = bytes.find('\n', at) + 1;
+    return at;
+  }();
+  const std::size_t escape = bytes.find("\\\"", third_newline);
+  ASSERT_NE(escape, std::string::npos);
+  bytes.resize(escape + 1);  // file now ends in the lone backslash
+  {
+    std::ofstream out(dir / "killed.jsonl",
+                      std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  runner::SweepSession resumed(manifest, (dir / "killed.jsonl").string());
+  EXPECT_EQ(resumed.completed_cells(), 3u);
+  resumed.run();
+  EXPECT_EQ(slurp(dir / "killed.jsonl"), reference);
+}
+
 TEST(SweepSession, SampledSweepKillResumeIsByteIdentical) {
   // Kill/resume on the schema-v2 path: a heterogeneous (sampled node-set)
   // sweep, chopped mid-record, must resume to a byte-identical results file

@@ -1,9 +1,14 @@
 // econcast_sweep — run any JSON sweep manifest end-to-end with
-// checkpoint/resume.
+// checkpoint/resume, as one shard of a distributed (fabric) sweep, or as
+// the merge step that combines shard files into the canonical results.
 //
 //   econcast_sweep <manifest.json> [--results PATH] [--threads N]
 //                  [--limit N] [--engine NAME] [--hotpath NAME] [--fresh]
 //                  [--progress] [--quiet]
+//   econcast_sweep <manifest.json> --dry-run
+//   econcast_sweep <manifest.json> --shard I/K [--worker-id ID] [--threads N]
+//                  [--limit N] [--engine NAME] [--hotpath NAME] [--progress]
+//   econcast_sweep <manifest.json> --merge [--shards K] [--results PATH]
 //
 // Completed cells stream to the results JSONL next to the manifest (or
 // --results). Re-running the same command resumes: the completed prefix is
@@ -11,10 +16,22 @@
 // only the remaining cells execute — the final file is byte-identical to an
 // uninterrupted run. --limit N checkpoints after N new cells and exits,
 // which is how CI exercises the kill/resume path deterministically.
-// --engine overrides the event-queue backend for every discrete-event cell
-// (binary-heap or calendar); --hotpath overrides the simulator hot-path
-// engine for every EconCast cell (reference or optimized). Neither knob can
-// change results, so mixing them across a resumed checkpoint is safe.
+//
+// --shard I/K claims shard I of a K-way split (src/fabric): the shard's
+// cells stream to <manifest>.fabric/shard-I-of-K.jsonl under a heartbeating
+// claim file, and kill/resume works per shard exactly as it does for whole
+// sweeps. --merge validates and concatenates the shard files into the
+// canonical results file, byte-identical to a single-process run. See the
+// README's "Distributed sweeps" section and tools/econcast_fabricd.cpp for
+// the coordinator that automates planning, reassignment and merging.
+//
+// Exit codes (workers and spool scripts key retry decisions off these):
+//   0  success (including a --shard no-op on an already-complete shard)
+//   1  runtime failure — a cell failed, results/claim I/O failed, the shard
+//      was busy or reassigned mid-run; the checkpoint is intact, retryable
+//   2  usage error — bad flags; nothing was read or written
+//   3  manifest failure — the file named in the message is unreadable,
+//      unparsable or invalid; retrying cannot succeed
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -23,35 +40,65 @@
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "fabric/merger.h"
+#include "fabric/shard_plan.h"
+#include "fabric/worker.h"
+#include "protocol/protocol_json.h"
 #include "runner/sweep_session.h"
 #include "sim/event_queue.h"
 #include "sim/hotpath.h"
+#include "util/json.h"
 
 namespace {
 
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitRuntime = 1,
+  kExitUsage = 2,
+  kExitManifest = 3,
+};
+
 [[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <manifest.json> [--results PATH] [--threads N]\n"
-               "       [--limit N] [--engine NAME] [--hotpath NAME]\n"
-               "       [--fresh] [--progress] [--quiet]\n"
-               "\n"
-               "  --results PATH  results JSONL (default: manifest path with\n"
-               "                  .json replaced by .results.jsonl)\n"
-               "  --threads N     cap worker threads (default: all cores)\n"
-               "  --limit N       stop after N newly completed cells; rerun\n"
-               "                  to resume from the checkpoint\n"
-               "  --engine NAME   event-queue backend for the simulated\n"
-               "                  cells: binary-heap or calendar (results\n"
-               "                  are identical; only wall clock changes)\n"
-               "  --hotpath NAME  simulator hot-path engine for the EconCast\n"
-               "                  cells: reference or optimized (results are\n"
-               "                  identical; only wall clock changes)\n"
-               "  --fresh         discard an existing results file first\n"
-               "  --progress      print a line per completed cell to stderr\n"
-               "  --quiet         suppress the completion summary\n",
-               argv0);
-  std::exit(2);
+  std::fprintf(
+      stderr,
+      "usage: %s <manifest.json> [--results PATH] [--threads N]\n"
+      "       [--limit N] [--engine NAME] [--hotpath NAME]\n"
+      "       [--fresh] [--progress] [--quiet]\n"
+      "   or: %s <manifest.json> --dry-run\n"
+      "   or: %s <manifest.json> --shard I/K [--worker-id ID] [options]\n"
+      "   or: %s <manifest.json> --merge [--shards K] [--results PATH]\n"
+      "\n"
+      "  --results PATH  results JSONL (default: manifest path with\n"
+      "                  .json replaced by .results.jsonl); with --merge,\n"
+      "                  where the merged file is written\n"
+      "  --threads N     cap worker threads (default: all cores)\n"
+      "  --limit N       stop after N newly completed cells; rerun\n"
+      "                  to resume from the checkpoint\n"
+      "  --engine NAME   event-queue backend for the simulated\n"
+      "                  cells: binary-heap or calendar (results\n"
+      "                  are identical; only wall clock changes)\n"
+      "  --hotpath NAME  simulator hot-path engine for the EconCast\n"
+      "                  cells: reference or optimized (results are\n"
+      "                  identical; only wall clock changes)\n"
+      "  --fresh         discard an existing results file first\n"
+      "  --progress      print a line per completed cell to stderr\n"
+      "  --quiet         suppress the completion summary\n"
+      "  --dry-run       parse + validate the manifest, print the cell\n"
+      "                  count and axes, execute nothing\n"
+      "  --shard I/K     run only shard I (0-based) of a K-way split,\n"
+      "                  claiming <manifest>.fabric/shard-I-of-K under a\n"
+      "                  heartbeat lease\n"
+      "  --worker-id ID  id recorded in the shard claim (default pid-<pid>)\n"
+      "  --merge         validate + concatenate all shard files into the\n"
+      "                  canonical results file\n"
+      "  --shards K      shard count for --merge when no plan.json exists\n"
+      "\n"
+      "exit codes: 0 ok, 1 runtime failure (retryable), 2 usage,\n"
+      "            3 manifest parse/validate failure (fatal)\n",
+      argv0, argv0, argv0, argv0);
+  std::exit(kExitUsage);
 }
 
 bool parse_size(const char* text, std::size_t& out) {
@@ -68,6 +115,88 @@ bool parse_size(const char* text, std::size_t& out) {
   return static_cast<unsigned long long>(out) == v;  // 32-bit size_t
 }
 
+/// "I/K" with 0 <= I < K.
+bool parse_shard(const char* text, std::size_t& shard, std::size_t& count) {
+  const char* slash = std::strchr(text, '/');
+  if (slash == nullptr) return false;
+  const std::string left(text, slash);
+  if (!parse_size(left.c_str(), shard) || !parse_size(slash + 1, count))
+    return false;
+  return count > 0 && shard < count;
+}
+
+std::string join_doubles(const std::vector<double>& values) {
+  std::string out;
+  for (double v : values) {
+    if (!out.empty()) out += ", ";
+    out += econcast::util::json::format_double(v);
+  }
+  return out;
+}
+
+void print_dry_run(const std::string& manifest_path,
+                   const econcast::runner::SweepManifest& manifest) {
+  using econcast::protocol::mode_to_token;
+  const econcast::runner::SweepSpec& spec = manifest.spec;
+  std::printf("manifest: %s\n", manifest_path.c_str());
+  std::printf("sweep '%s': %zu cells\n", spec.name().c_str(),
+              spec.cell_count());
+
+  std::string protocols;
+  for (const auto& p : spec.protocol_axis()) {
+    if (!protocols.empty()) protocols += ", ";
+    protocols += p.name;
+  }
+  std::printf("  protocols:   %s (%zu)\n", protocols.c_str(),
+              spec.protocol_axis().size());
+
+  std::string modes;
+  for (const auto m : spec.mode_axis()) {
+    if (!modes.empty()) modes += ", ";
+    modes += mode_to_token(m);
+  }
+  std::printf("  modes:       %s (%zu)\n", modes.c_str(),
+              spec.mode_axis().size());
+
+  std::string counts;
+  for (const std::size_t n : spec.node_count_axis()) {
+    if (!counts.empty()) counts += ", ";
+    counts += std::to_string(n);
+  }
+  std::printf("  node_counts: %s (%zu)\n", counts.c_str(),
+              spec.node_count_axis().size());
+
+  std::string powers;
+  for (const auto& p : spec.power_axis()) {
+    if (!powers.empty()) powers += ", ";
+    powers += "(rho " + econcast::util::json::format_double(p.budget) +
+              ", L " + econcast::util::json::format_double(p.listen_power) +
+              ", X " + econcast::util::json::format_double(p.transmit_power) +
+              ")";
+  }
+  std::printf("  powers:      %s (%zu)\n", powers.c_str(),
+              spec.power_axis().size());
+
+  if (spec.node_set_kind() == "sampled")
+    std::printf("  h:           %s (%zu)\n",
+                join_doubles(spec.heterogeneity_axis()).c_str(),
+                spec.heterogeneity_axis().size());
+
+  std::printf("  sigmas:      %s (%zu)\n",
+              join_doubles(spec.sigma_axis()).c_str(),
+              spec.sigma_axis().size());
+  std::printf("  replicates:  %zu\n", spec.replicate_count());
+  std::printf("  topology:    %s\n", spec.topology_kind().c_str());
+  std::printf("  node_set:    %s\n", spec.node_set_kind().c_str());
+  std::printf("  seeding:     base_seed %s, reseed %s\n",
+              econcast::util::json::u64_to_string(manifest.base_seed).c_str(),
+              manifest.reseed ? "true" : "false");
+  if (!manifest.queue_engine.empty())
+    std::printf("  queue_engine: %s\n", manifest.queue_engine.c_str());
+  if (!manifest.hotpath_engine.empty())
+    std::printf("  hotpath_engine: %s\n", manifest.hotpath_engine.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,11 +206,17 @@ int main(int argc, char** argv) {
   std::string results_path;
   std::string engine;
   std::string hotpath;
+  std::string worker_id;
   std::size_t threads = 0;
   std::size_t limit = 0;
+  std::size_t shard = 0;
+  std::size_t shard_count = 0;  // 0: not sharded
+  std::size_t merge_shards = 0;
   bool fresh = false;
   bool progress = false;
   bool quiet = false;
+  bool dry_run = false;
+  bool merge = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -95,6 +230,13 @@ int main(int argc, char** argv) {
       if (!parse_size(value(), threads)) usage(argv[0]);
     } else if (std::strcmp(arg, "--limit") == 0) {
       if (!parse_size(value(), limit)) usage(argv[0]);
+    } else if (std::strcmp(arg, "--shard") == 0) {
+      if (!parse_shard(value(), shard, shard_count)) usage(argv[0]);
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      if (!parse_size(value(), merge_shards) || merge_shards == 0)
+        usage(argv[0]);
+    } else if (std::strcmp(arg, "--worker-id") == 0) {
+      worker_id = value();
     } else if (std::strcmp(arg, "--engine") == 0) {
       engine = value();
       try {
@@ -117,6 +259,10 @@ int main(int argc, char** argv) {
       progress = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(arg, "--dry-run") == 0) {
+      dry_run = true;
+    } else if (std::strcmp(arg, "--merge") == 0) {
+      merge = true;
     } else if (arg[0] == '-') {
       usage(argv[0]);
     } else if (manifest_path.empty()) {
@@ -126,10 +272,93 @@ int main(int argc, char** argv) {
     }
   }
   if (manifest_path.empty()) usage(argv[0]);
-  if (results_path.empty())
+  const bool sharded = shard_count > 0;
+  // The four modes are mutually exclusive, and per-mode flags do not mix:
+  // --fresh/--results target the whole-sweep results file, which a shard
+  // does not own, and --merge executes nothing.
+  if ((dry_run ? 1 : 0) + (sharded ? 1 : 0) + (merge ? 1 : 0) > 1)
+    usage(argv[0]);
+  if (sharded && (fresh || !results_path.empty())) usage(argv[0]);
+  if (merge && (fresh || limit > 0 || !engine.empty() || !hotpath.empty()))
+    usage(argv[0]);
+  if (dry_run &&
+      (fresh || limit > 0 || !engine.empty() || !hotpath.empty() ||
+       !results_path.empty()))
+    usage(argv[0]);
+  if (results_path.empty() && !sharded)
     results_path = runner::SweepSession::default_results_path(manifest_path);
 
+  // Stage 1 — everything that can only fail because of the manifest file
+  // itself. A failure here is fatal for this manifest: exit 3, offender
+  // named.
+  runner::SweepManifest manifest{runner::SweepSpec("unloaded")};
   try {
+    manifest = runner::load_manifest(manifest_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "econcast_sweep: manifest '%s': %s\n",
+                 manifest_path.c_str(), e.what());
+    return kExitManifest;
+  }
+
+  if (dry_run) {
+    print_dry_run(manifest_path, manifest);
+    return kExitOk;
+  }
+
+  // Stage 2 — execution. Failures here leave a valid checkpoint behind and
+  // are retryable: exit 1, offender named.
+  try {
+    if (merge) {
+      const fabric::Merger::Report report =
+          merge_shards > 0
+              ? fabric::Merger::merge(manifest_path, merge_shards,
+                                      results_path)
+              : fabric::Merger::merge(manifest_path, results_path);
+      if (!quiet)
+        std::printf("merged %zu shards, %zu cells -> %s\n",
+                    report.shard_count, report.cells,
+                    report.merged_path.c_str());
+      return kExitOk;
+    }
+
+    if (sharded) {
+      fabric::Worker::Options options;
+      options.worker_id = worker_id;
+      options.num_threads = threads;
+      options.limit = limit;
+      options.queue_engine = engine;
+      options.hotpath_engine = hotpath;
+      if (progress) {
+        options.on_cell_done = [](const runner::ScenarioProgress& p) {
+          std::fprintf(stderr, "[%zu/%zu] cell %zu %s\n", p.done, p.total,
+                       p.index, p.scenario->name.c_str());
+        };
+      }
+      fabric::Worker worker(manifest_path, shard, shard_count, options);
+      const fabric::Worker::Outcome outcome = worker.run();
+      if (!quiet) {
+        const char* status =
+            outcome.status == fabric::Worker::Outcome::Status::kShardBusy
+                ? "busy (another worker holds the claim)"
+            : outcome.status ==
+                    fabric::Worker::Outcome::Status::kAlreadyComplete
+                ? "already complete"
+                : (outcome.shard_complete ? "complete" : "checkpointed");
+        std::printf(
+            "shard %zu/%zu of '%s': %s — %zu/%zu cells (%zu resumed, "
+            "%zu run)\n",
+            shard, shard_count, manifest.spec.name().c_str(), status,
+            outcome.resumed + outcome.ran, outcome.shard_cells,
+            outcome.resumed, outcome.ran);
+        std::printf("results: %s\n", outcome.results_path.c_str());
+      }
+      // A busy shard ran nothing: report it as retryable so spool scripts
+      // distinguish "try again later" from a completed shard.
+      return outcome.status == fabric::Worker::Outcome::Status::kShardBusy
+                 ? kExitRuntime
+                 : kExitOk;
+    }
+
     if (fresh) std::remove(results_path.c_str());
 
     runner::SweepSession::Options options;
@@ -141,7 +370,6 @@ int main(int argc, char** argv) {
       };
     }
 
-    runner::SweepManifest manifest = runner::load_manifest(manifest_path);
     if (!engine.empty()) manifest.queue_engine = engine;
     if (!hotpath.empty()) manifest.hotpath_engine = hotpath;
 
@@ -168,8 +396,9 @@ int main(int argc, char** argv) {
       }
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "econcast_sweep: %s\n", e.what());
-    return 1;
+    std::fprintf(stderr, "econcast_sweep: manifest '%s': %s\n",
+                 manifest_path.c_str(), e.what());
+    return kExitRuntime;
   }
-  return 0;
+  return kExitOk;
 }

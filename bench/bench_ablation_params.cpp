@@ -54,6 +54,7 @@ proto::SimConfig base_cfg(double duration) {
 int main(int argc, char** argv) {
   const long scale = bench::knob(argc, argv, 3);
   g_hotpath = bench::hotpath_flag(argc, argv);
+  bench::kernels_flag(argc, argv);
   const double dur = 1e6 * static_cast<double>(scale);
   bench::banner("Ablations", "design-choice sweeps (N=5, rho=10uW, L=X=500uW)");
   const double t_star = oracle::groupput(paper_nodes()).throughput;

@@ -21,6 +21,7 @@
 #include "runner/sweep_session.h"
 #include "sim/event_queue.h"
 #include "sim/hotpath.h"
+#include "util/kernels.h"
 
 namespace econcast::bench {
 
@@ -105,6 +106,34 @@ inline sim::HotpathEngine hotpath_flag(int argc, char** argv) {
     return sim::hotpath_engine_from_token(token);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+}
+
+/// Applies the micro-kernel tier from "--kernels=scalar|avx2" (default: the
+/// cpuid-selected tier, same as the ECONCAST_KERNELS env override). Tiers
+/// are proven bit-identical by the differential tests, so — like --engine
+/// and --hotpath — this flag trades wall-clock time only and CI diffs the
+/// tables across tiers to prove it.
+inline void kernels_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--kernels") == 0) {
+      std::fprintf(stderr, "use --kernels=NAME (flags take the '=' form)\n");
+      std::exit(2);
+    }
+  }
+  const std::string token = flag(argc, argv, "--kernels");
+  try {
+    if (token.empty()) {
+      // No flag: force the first-use ECONCAST_KERNELS/cpuid resolution now,
+      // so a bad env value is a clean startup error instead of an uncaught
+      // throw mid-sweep.
+      util::active_kernel_tier();
+      return;
+    }
+    util::set_kernel_tier(util::kernel_tier_from_token(token));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "--kernels: %s\n", e.what());
     std::exit(2);
   }
 }

@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   const long scale = bench::knob(argc, argv, 4);  // sim duration = scale * 1e6
   const sim::QueueEngine engine = bench::engine_flag(argc, argv);
   const sim::HotpathEngine hotpath = bench::hotpath_flag(argc, argv);
+  bench::kernels_flag(argc, argv);
   bench::banner("Figure 4", "average burst length vs sigma (rho=10uW, L=X=500uW)");
 
   const double marker_sigmas[] = {0.25, 0.5};

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   const long scale = bench::knob(argc, argv, 8);  // duration = scale * 1e6
   const sim::QueueEngine engine = bench::engine_flag(argc, argv);
   const sim::HotpathEngine hotpath = bench::hotpath_flag(argc, argv);
+  bench::kernels_flag(argc, argv);
   bench::banner("Figure 5", "latency CDF / mean / p99 (rho=10uW, L=X=500uW)");
 
   baselines::SearchlightConfig sc;

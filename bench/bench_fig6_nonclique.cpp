@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   const long scale = bench::knob(argc, argv, 2);  // duration = scale * 1e6
   const sim::QueueEngine engine = bench::engine_flag(argc, argv);
   const sim::HotpathEngine hotpath = bench::hotpath_flag(argc, argv);
+  bench::kernels_flag(argc, argv);
   // --n256 appends a 16x16 grid row (N=256) — off by default so the standard
   // table stays byte-identical to earlier builds.
   const bool n256 = bench::bool_flag(argc, argv, "--n256");

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   using namespace econcast;
   const long hours = bench::knob(argc, argv, 12);
   const sim::QueueEngine engine = bench::engine_flag(argc, argv);
+  bench::kernels_flag(argc, argv);
   bench::banner("Figure 7", "testbed emulation: ideal/relaxed ratios + battery variance");
   std::printf("emulated duration per point: %ld h (paper: up to 24 h)\n\n",
               hours);

@@ -8,13 +8,16 @@
 #include <string>
 #include <vector>
 
+#include "econcast/rates.h"
 #include "econcast/simulation.h"
 #include "gibbs/exact.h"
 #include "gibbs/p4_solver.h"
 #include "gibbs/symmetric.h"
 #include "model/state_space.h"
 #include "oracle/clique_oracle.h"
+#include "sim/event_kernels.h"
 #include "sim/event_queue.h"
+#include "util/kernels.h"
 #include "util/random.h"
 
 namespace {
@@ -178,6 +181,100 @@ BENCHMARK(BM_EventQueueScheduleCancel)
     ->ArgsProduct({{64, 256},
                    {static_cast<long>(sim::QueueEngine::kBinaryHeap),
                     static_cast<long>(sim::QueueEngine::kCalendar)}});
+
+// ---- Micro-kernel tier comparatives (util/kernels.h, sim/event_kernels.h).
+// Arg conventions: the last arg selects the kernel tier (0 = scalar forced,
+// 1 = avx2 forced); runs on hosts without the tier are skipped, not
+// silently downgraded. The tiers are bit-identical by construction (see
+// test_kernels), so items/sec is the only thing that may differ.
+
+bool force_tier(benchmark::State& state, long tier_arg) {
+  const auto tier = static_cast<util::KernelTier>(tier_arg);
+  if (!util::kernel_tier_supported(tier)) {
+    state.SkipWithError("kernel tier unavailable on this host/build");
+    return false;
+  }
+  util::set_kernel_tier(tier);
+  return true;
+}
+
+// The batched RNG refill behind Rng's block mode: raw xoshiro outputs
+// through the dispatched u64 -> [0,1) conversion. This is the kernel the
+// simulator pays on every block_ draws; the unbuffered path converts one
+// draw at a time inside Rng::uniform.
+void BM_RngBatch(benchmark::State& state) {
+  if (!force_tier(state, state.range(1))) return;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 gen(2016);
+  std::vector<std::uint64_t> bits(n);
+  for (auto& b : bits) b = gen();
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    util::u01_from_bits(bits.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(std::string(util::to_token(
+                     static_cast<util::KernelTier>(state.range(1)))) +
+                 " block=" + std::to_string(n));
+}
+BENCHMARK(BM_RngBatch)->ArgsProduct({{256, 4096}, {0, 1}});
+
+// The calendar backend's bucket scan: one (time, seq)-min + time-bounds
+// pass over a bucket of the size find_min sees at the fig. 6 scale.
+void BM_CalendarMinScan(benchmark::State& state) {
+  if (!force_tier(state, state.range(1))) return;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(99);
+  std::vector<sim::Event> bucket(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bucket[i].time = rng.uniform() * 100.0;
+    bucket[i].seq = i;
+  }
+  for (auto _ : state) {
+    const auto scan = sim::event_kernels::min_scan(bucket.data(), n);
+    benchmark::DoNotOptimize(scan.best);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(std::string(util::to_token(
+                     static_cast<util::KernelTier>(state.range(1)))) +
+                 " bucket=" + std::to_string(n));
+}
+BENCHMARK(BM_CalendarMinScan)->ArgsProduct({{16, 64, 256}, {0, 1}});
+
+// The eager rate-memo row refill against the per-call path it replaced:
+// one η update's worth of listen_to_transmit exponentials for a fig. 6
+// N = 64 neighborhood (width = N + 1 counts). Arg 1 = 0 benches width
+// separate listen_to_transmit calls (the reference expression), 1 benches
+// fill_listen_to_transmit_row (hoisted invariants, 1-2 exp calls for the
+// count-independent variants). Both produce bit-identical rows.
+void BM_MemoRefill(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  const proto::RateController rates(500.0, 500.0, 0.25,
+                                    proto::Variant::kNonCapture,
+                                    model::Mode::kGroupput);
+  const double eta = 0.003;
+  std::vector<double> row(width);
+  for (auto _ : state) {
+    if (batched) {
+      rates.fill_listen_to_transmit_row(eta, row.data(), width);
+    } else {
+      for (std::size_t c = 0; c < width; ++c)
+        row[c] = rates.listen_to_transmit(eta, static_cast<double>(c), true);
+    }
+    benchmark::DoNotOptimize(row.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(width));
+  state.SetLabel(std::string(batched ? "row-refill" : "per-call") +
+                 " width=" + std::to_string(width));
+}
+BENCHMARK(BM_MemoRefill)->ArgsProduct({{65, 101}, {0, 1}});
 
 void BM_SimulatorEvents(benchmark::State& state) {
   const auto nodes = model::homogeneous(5, 10.0, 500.0, 500.0);

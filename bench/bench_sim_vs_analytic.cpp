@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace econcast;
   const long scale = bench::knob(argc, argv, 6);
   const sim::HotpathEngine hotpath = bench::hotpath_flag(argc, argv);
+  bench::kernels_flag(argc, argv);
   bench::banner("Sim-vs-analytic", "T~^sigma vs T^sigma (N=5, rho=10uW, L=X=500uW)");
 
   const auto nodes = model::homogeneous(5, 10.0, 500.0, 500.0);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <stdexcept>
 
 namespace econcast::proto {
@@ -22,7 +21,6 @@ MultiplierConfig node_multiplier_config(const SimConfig& cfg,
   return mc;
 }
 
-constexpr double kStaleRate = std::numeric_limits<double>::quiet_NaN();
 }  // namespace
 
 Simulation::Simulation(model::NodeSet nodes, model::Topology topology,
@@ -31,7 +29,7 @@ Simulation::Simulation(model::NodeSet nodes, model::Topology topology,
       topo_(std::move(topology)),
       config_(std::move(config)),
       estimator_(config_.estimator),
-      rng_(config_.seed),
+      rng_(config_.seed, util::Rng::kDefaultBlock),
       queue_(config_.queue_engine, &arena_),
       channel_(topo_, &arena_, config_.hotpath_engine),
       metrics_(nodes_.size()),
@@ -78,7 +76,7 @@ Simulation::Simulation(model::NodeSet nodes, model::Topology topology,
   for (std::size_t i = 0; i < n; ++i)
     max_degree = std::max(max_degree, topo_.neighbors(i).size());
   tx_rate_width_ = max_degree + 1;
-  tx_rate_.assign(n * tx_rate_width_, kStaleRate);
+  tx_rate_.assign(n * tx_rate_width_, 0.0);  // rows filled by refresh_eta
   energy_.reserve(n);
   burst_rx_flag_.assign(n, 0);
   burst_rx_list_.reserve(n);
@@ -108,9 +106,14 @@ void Simulation::refresh_eta(NodeId i) {
   eta_[i] = nodes_rt_[i].multiplier.eta();
   if (!opt_) return;
   wake_rate_[i] = rates_[i].sleep_to_listen(eta_[i], true);
-  const std::size_t row = static_cast<std::size_t>(i) * tx_rate_width_;
-  std::fill(tx_rate_.begin() + row, tx_rate_.begin() + row + tx_rate_width_,
-            kStaleRate);
+  // Eager batch refill: one contiguous pass over the node's memo row per η
+  // update replaces the old invalidate-then-lazily-recompute scheme, so the
+  // hot-loop query below is a plain load with no staleness check. The row
+  // entries are the exact per-call expressions (see
+  // RateController::fill_listen_to_transmit_row), so results are unchanged.
+  rates_[i].fill_listen_to_transmit_row(
+      eta_[i], tx_rate_.data() + static_cast<std::size_t>(i) * tx_rate_width_,
+      tx_rate_width_);
 }
 
 double Simulation::wake_rate(NodeId i, bool idle) {
@@ -124,12 +127,8 @@ double Simulation::listen_tx_rate(NodeId i, bool idle) {
   if (!opt_)
     return rates_[i].listen_to_transmit(eta_[i], static_cast<double>(count),
                                         true);
-  double& memo = tx_rate_[static_cast<std::size_t>(i) * tx_rate_width_ +
-                          static_cast<std::size_t>(count)];
-  if (std::isnan(memo))
-    memo = rates_[i].listen_to_transmit(eta_[i], static_cast<double>(count),
-                                        true);
-  return memo;
+  return tx_rate_[static_cast<std::size_t>(i) * tx_rate_width_ +
+                  static_cast<std::size_t>(count)];
 }
 
 void Simulation::occupancy_advance() {

@@ -239,7 +239,8 @@ class Simulation {
   sim::ArenaVector<double> eta_;        // mirror of nodes_rt_[i].multiplier
   sim::ArenaVector<double> wake_rate_;  // λ_sl(η) at idle; refreshed with η
   sim::ArenaVector<double> tx_rate_;    // λ_lx(η, c) memo, row per node,
-  std::size_t tx_rate_width_ = 0;       //   column per count; NaN = stale
+  std::size_t tx_rate_width_ = 0;       //   column per count; rows refilled
+                                        //   eagerly on every η update
   sim::EnergyLedger energy_;
 
   sim::ArenaVector<std::uint8_t> burst_rx_flag_;  // receivers of current burst

@@ -1,0 +1,86 @@
+#include "sim/event_kernels.h"
+
+#include <cassert>
+
+#include "util/kernels.h"
+
+namespace econcast::sim::event_kernels {
+
+namespace detail {
+
+MinScanResult min_scan_scalar(const Event* events, std::size_t n) noexcept {
+  // Bit-for-bit the loop CalendarQueue::find_min ran before the kernel
+  // tier existed: best replaced only when strictly earlier in (time, seq),
+  // bounds folded with strict compares (so a NaN never displaces them).
+  MinScanResult r;
+  r.lo = events[0].time;
+  r.hi = r.lo;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (EventLater{}(events[r.best], events[i])) r.best = i;
+    if (events[i].time < r.lo) r.lo = events[i].time;
+    if (events[i].time > r.hi) r.hi = events[i].time;
+  }
+  return r;
+}
+
+void time_bounds_scalar(const Event* events, std::size_t n, double& lo,
+                        double& hi) noexcept {
+  double t_min = events[0].time;
+  double t_max = t_min;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (events[i].time < t_min) t_min = events[i].time;
+    if (events[i].time > t_max) t_max = events[i].time;
+  }
+  lo = t_min;
+  hi = t_max;
+}
+
+std::size_t partition_stale_scalar(Event* events, std::size_t n,
+                                   const std::uint64_t* generations,
+                                   std::size_t slot_count) noexcept {
+  (void)slot_count;
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const Event& e = events[r];
+    if (e.cancellable) {
+      const std::size_t slot =
+          static_cast<std::size_t>(e.node) * kEventKindCount +
+          static_cast<std::size_t>(e.kind);
+      assert(slot < slot_count);
+      if (e.stamp != generations[slot]) continue;  // stale: drop
+    }
+    if (w != r) events[w] = e;
+    ++w;
+  }
+  return n - w;
+}
+
+}  // namespace detail
+
+MinScanResult min_scan(const Event* events, std::size_t n) {
+#if ECONCAST_HAVE_AVX2
+  if (util::active_kernel_tier() == util::KernelTier::kAvx2)
+    return detail::min_scan_avx2(events, n);
+#endif
+  return detail::min_scan_scalar(events, n);
+}
+
+void time_bounds(const Event* events, std::size_t n, double& lo, double& hi) {
+#if ECONCAST_HAVE_AVX2
+  if (util::active_kernel_tier() == util::KernelTier::kAvx2)
+    return detail::time_bounds_avx2(events, n, lo, hi);
+#endif
+  detail::time_bounds_scalar(events, n, lo, hi);
+}
+
+std::size_t partition_stale(Event* events, std::size_t n,
+                            const std::uint64_t* generations,
+                            std::size_t slot_count) {
+#if ECONCAST_HAVE_AVX2
+  if (util::active_kernel_tier() == util::KernelTier::kAvx2)
+    return detail::partition_stale_avx2(events, n, generations, slot_count);
+#endif
+  return detail::partition_stale_scalar(events, n, generations, slot_count);
+}
+
+}  // namespace econcast::sim::event_kernels

@@ -1,0 +1,97 @@
+// SIMD micro-kernels for the event-queue inner loops, dispatched on the
+// process-wide kernel tier (util/kernels.h).
+//
+// The calendar backend's hot loops are linear scans over small Event
+// arrays: the (time, seq)-min scan of the bucket being drained, the
+// [min, max] time bounds of the overflow top when a new year is laid, and
+// the stale-event partition that compaction runs over every bucket. Each
+// exists here as a scalar reference and an AVX2 implementation; both
+// produce identical results for every input:
+//
+//   * (time, seq) is a strict total order (seq is unique), so the minimum
+//     is unique and any reduction order — sequential, lane-parallel — finds
+//     the same element. The SIMD compares are the exact IEEE/integer
+//     compares of the scalar loop.
+//   * The time bounds are pure compare-and-keep folds; lanes only ever hold
+//     values from the input, so min/max come out value-identical. (The one
+//     representational caveat: when a bucket mixes -0.0 and +0.0 the fold
+//     order decides which zero is reported — the values compare equal and
+//     every downstream use is arithmetic, so placement and pop order are
+//     unaffected.)
+//   * The stale partition is a stable keep-order compaction: the SIMD tier
+//     vectorizes the predicate (slot arithmetic + generation compare, a
+//     gather), the relocation is order-preserving either way.
+//
+// NaN times: the simulators never produce them, but the scalar loops have
+// defined behavior for them (a NaN never displaces the running best/bounds,
+// and a NaN in element 0 pins the result there); the AVX2 tier detects the
+// element-0 case and falls back to the scalar loop so the two tiers agree
+// on every input. seq values must stay below 2^63 (they are push counters,
+// so they always do); the AVX2 tier compares them with signed instructions.
+#ifndef ECONCAST_SIM_EVENT_KERNELS_H
+#define ECONCAST_SIM_EVENT_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/event_queue.h"
+
+namespace econcast::sim::event_kernels {
+
+// The AVX2 tier walks events as four qwords per element (gathers with a
+// stride-4 qword index): q0 = time, q1 = seq, q2 packs kind | cancellable
+// << 8 | node << 32, q3 = stamp. Pin that layout here so a reordered field
+// fails the build instead of silently desyncing the tiers.
+static_assert(sizeof(Event) == 32, "event kernels assume 4-qword events");
+static_assert(offsetof(Event, time) == 0, "event kernels assume time @ q0");
+static_assert(offsetof(Event, seq) == 8, "event kernels assume seq @ q1");
+static_assert(offsetof(Event, kind) == 16, "event kernels assume kind @ q2");
+static_assert(offsetof(Event, cancellable) == 17,
+              "event kernels assume cancellable @ q2 byte 1");
+static_assert(offsetof(Event, node) == 20,
+              "event kernels assume node @ q2 dword 1");
+static_assert(offsetof(Event, stamp) == 24, "event kernels assume stamp @ q3");
+
+struct MinScanResult {
+  std::size_t best = 0;  // index of the (time, seq)-minimal event
+  double lo = 0.0;       // min / max time seen, for the spawn decision
+  double hi = 0.0;
+};
+
+/// One pass over a bucket: the (time, seq)-min index plus the time bounds,
+/// exactly what CalendarQueue::find_min needs. Requires n >= 1.
+MinScanResult min_scan(const Event* events, std::size_t n);
+
+/// [min, max] of events[0..n).time — the overflow-top span scan that sizes
+/// a newly laid year. Requires n >= 1.
+void time_bounds(const Event* events, std::size_t n, double& lo, double& hi);
+
+/// Stable in-place compaction removing every stale event: cancellable and
+/// stamp != generations[node * kEventKindCount + kind]. Every cancellable
+/// event's slot index must be < slot_count (the queue facade guarantees it:
+/// schedule() sizes the table before entering the event). Returns the
+/// number of events removed; the surviving events keep their order.
+std::size_t partition_stale(Event* events, std::size_t n,
+                            const std::uint64_t* generations,
+                            std::size_t slot_count);
+
+namespace detail {
+MinScanResult min_scan_scalar(const Event* events, std::size_t n) noexcept;
+void time_bounds_scalar(const Event* events, std::size_t n, double& lo,
+                        double& hi) noexcept;
+std::size_t partition_stale_scalar(Event* events, std::size_t n,
+                                   const std::uint64_t* generations,
+                                   std::size_t slot_count) noexcept;
+#if ECONCAST_HAVE_AVX2
+MinScanResult min_scan_avx2(const Event* events, std::size_t n) noexcept;
+void time_bounds_avx2(const Event* events, std::size_t n, double& lo,
+                      double& hi) noexcept;
+std::size_t partition_stale_avx2(Event* events, std::size_t n,
+                                 const std::uint64_t* generations,
+                                 std::size_t slot_count) noexcept;
+#endif
+}  // namespace detail
+
+}  // namespace econcast::sim::event_kernels
+
+#endif  // ECONCAST_SIM_EVENT_KERNELS_H

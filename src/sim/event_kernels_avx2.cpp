@@ -1,0 +1,196 @@
+// AVX2 tier of the event-queue kernels. Compiled with -mavx2 for this
+// translation unit only; reached only through the runtime dispatch in
+// event_kernels.cpp after a cpuid check. Events are 32 bytes — exactly four
+// qwords — so the scans gather lane-strided qwords: q0 = time, q1 = seq,
+// q2 = kind | cancellable << 8 | node << 32, q3 = stamp (layout pinned by
+// the static_asserts in event_kernels.h).
+#if ECONCAST_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_kernels.h"
+
+namespace econcast::sim::event_kernels::detail {
+
+namespace {
+/// Gather byte offsets {0, 32, 64, 96} in units of the scale-8 index.
+inline __m256i stride4() noexcept { return _mm256_setr_epi64x(0, 4, 8, 12); }
+}  // namespace
+
+MinScanResult min_scan_avx2(const Event* events, std::size_t n) noexcept {
+  // Tiny buckets do not amortize the gathers; NaN in element 0 pins the
+  // scalar result there (a NaN never loses its best slot) — both cases go
+  // to the reference loop, which the tiers must agree with anyway.
+  if (n < 8 || std::isnan(events[0].time))
+    return min_scan_scalar(events, n);
+
+  const __m256i qoff = stride4();
+  const __m256i four = _mm256_set1_epi64x(4);
+  __m256d bt = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  __m256i bs = _mm256_set1_epi64x(std::numeric_limits<std::int64_t>::max());
+  __m256i bidx = _mm256_set1_epi64x(-1);
+  __m256i lane = _mm256_setr_epi64x(0, 1, 2, 3);
+  __m256d lo = _mm256_set1_pd(events[0].time);
+  __m256d hi = lo;
+
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const auto* p = reinterpret_cast<const long long*>(events + i);
+    const __m256d t =
+        _mm256_i64gather_pd(reinterpret_cast<const double*>(p), qoff, 8);
+    const __m256i seq = _mm256_i64gather_epi64(p + 1, qoff, 8);
+    // Strictly earlier in (time, seq) displaces the lane best — the exact
+    // EventLater predicate. seq < 2^63 (a push counter), so the signed
+    // compare orders it correctly; NaN times fail both compares and never
+    // win a lane.
+    const __m256d lt = _mm256_cmp_pd(t, bt, _CMP_LT_OQ);
+    const __m256d eq = _mm256_cmp_pd(t, bt, _CMP_EQ_OQ);
+    const __m256d slt = _mm256_castsi256_pd(_mm256_cmpgt_epi64(bs, seq));
+    const __m256d win = _mm256_or_pd(lt, _mm256_and_pd(eq, slt));
+    const __m256i wini = _mm256_castpd_si256(win);
+    bt = _mm256_blendv_pd(bt, t, win);
+    bs = _mm256_blendv_epi8(bs, seq, wini);
+    bidx = _mm256_blendv_epi8(bidx, lane, wini);
+    lane = _mm256_add_epi64(lane, four);
+    lo = _mm256_blendv_pd(lo, t, _mm256_cmp_pd(t, lo, _CMP_LT_OQ));
+    hi = _mm256_blendv_pd(hi, t, _mm256_cmp_pd(t, hi, _CMP_GT_OQ));
+  }
+
+  alignas(32) double bt_a[4], lo_a[4], hi_a[4];
+  alignas(32) std::int64_t bs_a[4], bi_a[4];
+  _mm256_store_pd(bt_a, bt);
+  _mm256_store_pd(lo_a, lo);
+  _mm256_store_pd(hi_a, hi);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(bs_a), bs);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(bi_a), bidx);
+
+  // Horizontal fold with the same predicate, then the scalar tail. The
+  // (time, seq) order is strict and total over the non-NaN events, so the
+  // unique minimum survives any fold order.
+  MinScanResult r;
+  r.lo = lo_a[0];
+  r.hi = hi_a[0];
+  double best_t = std::numeric_limits<double>::infinity();
+  std::uint64_t best_s = std::numeric_limits<std::int64_t>::max();
+  std::size_t best = 0;
+  bool have_best = false;
+  for (int j = 0; j < 4; ++j) {
+    if (lo_a[j] < r.lo) r.lo = lo_a[j];
+    if (hi_a[j] > r.hi) r.hi = hi_a[j];
+    if (bi_a[j] < 0) continue;  // lane never won (NaN-saturated)
+    const auto s = static_cast<std::uint64_t>(bs_a[j]);
+    if (bt_a[j] < best_t || (bt_a[j] == best_t && s < best_s)) {
+      best_t = bt_a[j];
+      best_s = s;
+      best = static_cast<std::size_t>(bi_a[j]);
+      have_best = true;
+    }
+  }
+  if (!have_best) return min_scan_scalar(events, n);  // all-NaN block run
+  for (; i < n; ++i) {
+    const double t = events[i].time;
+    if (t < best_t || (t == best_t && events[i].seq < best_s)) {
+      best_t = t;
+      best_s = events[i].seq;
+      best = i;
+    }
+    if (t < r.lo) r.lo = t;
+    if (t > r.hi) r.hi = t;
+  }
+  r.best = best;
+  return r;
+}
+
+void time_bounds_avx2(const Event* events, std::size_t n, double& lo,
+                      double& hi) noexcept {
+  if (n < 8) return time_bounds_scalar(events, n, lo, hi);
+  const __m256i qoff = stride4();
+  __m256d vlo = _mm256_set1_pd(events[0].time);
+  __m256d vhi = vlo;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t = _mm256_i64gather_pd(
+        reinterpret_cast<const double*>(events + i), qoff, 8);
+    vlo = _mm256_blendv_pd(vlo, t, _mm256_cmp_pd(t, vlo, _CMP_LT_OQ));
+    vhi = _mm256_blendv_pd(vhi, t, _mm256_cmp_pd(t, vhi, _CMP_GT_OQ));
+  }
+  alignas(32) double lo_a[4], hi_a[4];
+  _mm256_store_pd(lo_a, vlo);
+  _mm256_store_pd(hi_a, vhi);
+  double t_min = lo_a[0], t_max = hi_a[0];
+  for (int j = 1; j < 4; ++j) {
+    if (lo_a[j] < t_min) t_min = lo_a[j];
+    if (hi_a[j] > t_max) t_max = hi_a[j];
+  }
+  for (; i < n; ++i) {
+    if (events[i].time < t_min) t_min = events[i].time;
+    if (events[i].time > t_max) t_max = events[i].time;
+  }
+  lo = t_min;
+  hi = t_max;
+}
+
+std::size_t partition_stale_avx2(Event* events, std::size_t n,
+                                 const std::uint64_t* generations,
+                                 std::size_t slot_count) noexcept {
+  (void)slot_count;
+  static_assert(kEventKindCount == 6,
+                "slot arithmetic below hardcodes node * 6 + kind");
+  const __m256i qoff = stride4();
+  const __m256i ff = _mm256_set1_epi64x(0xFF);
+  std::size_t w = 0;
+  std::size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    const auto* p = reinterpret_cast<const long long*>(events + r);
+    const __m256i q2 = _mm256_i64gather_epi64(p + 2, qoff, 8);
+    const __m256i stamp = _mm256_i64gather_epi64(p + 3, qoff, 8);
+    const __m256i canc = _mm256_and_si256(_mm256_srli_epi64(q2, 8), ff);
+    const __m256i cm = _mm256_cmpgt_epi64(canc, _mm256_setzero_si256());
+    const __m256i node = _mm256_srli_epi64(q2, 32);
+    const __m256i kind = _mm256_and_si256(q2, ff);
+    const __m256i slot = _mm256_add_epi64(
+        _mm256_add_epi64(_mm256_slli_epi64(node, 2),
+                         _mm256_slli_epi64(node, 1)),
+        kind);
+    // Masked gather: the generation is only defined (and only in bounds)
+    // for cancellable events; other lanes read nothing.
+    const __m256i gens = _mm256_mask_i64gather_epi64(
+        _mm256_setzero_si256(),
+        reinterpret_cast<const long long*>(generations), slot, cm, 8);
+    const __m256i fresh = _mm256_cmpeq_epi64(stamp, gens);
+    const __m256i stale = _mm256_andnot_si256(fresh, cm);
+    const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(stale));
+    if (mask == 0) {  // common case: keep all four, order preserved
+      if (w != r)
+        for (int j = 0; j < 4; ++j) events[w + j] = events[r + j];
+      w += 4;
+    } else {
+      for (int j = 0; j < 4; ++j) {
+        if (mask & (1 << j)) continue;
+        if (w != r + static_cast<std::size_t>(j))
+          events[w] = events[r + static_cast<std::size_t>(j)];
+        ++w;
+      }
+    }
+  }
+  for (; r < n; ++r) {
+    const Event& e = events[r];
+    if (e.cancellable) {
+      const std::size_t slot =
+          static_cast<std::size_t>(e.node) * kEventKindCount +
+          static_cast<std::size_t>(e.kind);
+      if (e.stamp != generations[slot]) continue;
+    }
+    if (w != r) events[w] = e;
+    ++w;
+  }
+  return n - w;
+}
+
+}  // namespace econcast::sim::event_kernels::detail
+
+#endif  // ECONCAST_HAVE_AVX2

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/event_kernels.h"
+
 namespace econcast::sim {
 
 const char* to_token(QueueEngine engine) noexcept {
@@ -33,10 +35,13 @@ class EventQueueBackend {
   virtual const Event& peek() = 0;
   /// Removes and returns the (time, seq)-minimal stored event.
   virtual Event pop() = 0;
-  /// Removes every stored event for which `pred(event, ctx)` is true and
-  /// restores the backend's ordering invariants. Returns the removed count.
-  virtual std::size_t prune(bool (*pred)(const Event&, const void*),
-                            const void* ctx) = 0;
+  /// Removes every stale event — cancellable with stamp !=
+  /// generations[node * kEventKindCount + kind] — and restores the
+  /// backend's ordering invariants. Returns the removed count. Every
+  /// cancellable stored event's slot must be < slot_count (the facade
+  /// guarantees it: schedule() sizes the table before entering the event).
+  virtual std::size_t prune_stale(const std::uint64_t* generations,
+                                  std::size_t slot_count) = 0;
   virtual void clear() = 0;
   virtual void reserve(std::size_t n) = 0;
   virtual std::size_t size() const noexcept = 0;
@@ -65,13 +70,13 @@ class BinaryHeapQueue final : public EventQueueBackend {
     return event;
   }
 
-  std::size_t prune(bool (*pred)(const Event&, const void*),
-                    const void* ctx) override {
-    const auto keep_end = std::remove_if(
-        heap_.begin(), heap_.end(),
-        [&](const Event& event) { return pred(event, ctx); });
-    const auto removed = static_cast<std::size_t>(heap_.end() - keep_end);
-    heap_.erase(keep_end, heap_.end());
+  std::size_t prune_stale(const std::uint64_t* generations,
+                          std::size_t slot_count) override {
+    // partition_stale is a stable compaction — the same keep order
+    // std::remove_if produced — so the rebuilt heap layout is unchanged.
+    const std::size_t removed = event_kernels::partition_stale(
+        heap_.data(), heap_.size(), generations, slot_count);
+    heap_.resize(heap_.size() - removed);
     std::make_heap(heap_.begin(), heap_.end(), EventLater{});
     return removed;
   }
@@ -148,15 +153,14 @@ class CalendarQueue final : public EventQueueBackend {
     return event;
   }
 
-  std::size_t prune(bool (*pred)(const Event&, const void*),
-                    const void* ctx) override {
+  std::size_t prune_stale(const std::uint64_t* generations,
+                          std::size_t slot_count) override {
     std::size_t removed = 0;
     const auto filter = [&](auto& events) {
-      const auto keep_end = std::remove_if(
-          events.begin(), events.end(),
-          [&](const Event& event) { return pred(event, ctx); });
-      removed += static_cast<std::size_t>(events.end() - keep_end);
-      events.erase(keep_end, events.end());
+      const std::size_t dropped = event_kernels::partition_stale(
+          events.data(), events.size(), generations, slot_count);
+      removed += dropped;
+      events.resize(events.size() - dropped);
     };
     // Removing events changes no placement, so every structural invariant
     // (rung spans, cur positions, top_start_) survives; find_min already
@@ -248,12 +252,8 @@ class CalendarQueue final : public EventQueueBackend {
   /// and top_ non-empty. The span covers [min, max], so the top empties
   /// completely and top_start_ becomes the rung's end.
   void spawn_from_top() {
-    double t_min = top_.front().time;
-    double t_max = t_min;
-    for (const Event& event : top_) {
-      if (event.time < t_min) t_min = event.time;
-      if (event.time > t_max) t_max = event.time;
-    }
+    double t_min, t_max;
+    event_kernels::time_bounds(top_.data(), top_.size(), t_min, t_max);
     const std::size_t nbuckets = bucket_count_for(top_.size());
     const double span = t_max - t_min;
     const double width =
@@ -307,18 +307,12 @@ class CalendarQueue final : public EventQueueBackend {
         continue;
       }
       const std::vector<Event>& bucket = rung.buckets[rung.cur];
-      std::size_t best = 0;
-      double lo = bucket.front().time;
-      double hi = lo;
-      for (std::size_t i = 1; i < bucket.size(); ++i) {
-        if (EventLater{}(bucket[best], bucket[i])) best = i;
-        if (bucket[i].time < lo) lo = bucket[i].time;
-        if (bucket[i].time > hi) hi = bucket[i].time;
-      }
-      if (bucket.size() > kSpawnThreshold && hi > lo &&
+      const event_kernels::MinScanResult scan =
+          event_kernels::min_scan(bucket.data(), bucket.size());
+      if (bucket.size() > kSpawnThreshold && scan.hi > scan.lo &&
           depth_ < kMaxRungs && spawn_from_bucket(depth_ - 1))
         continue;
-      cached_min_ = best;
+      cached_min_ = scan.best;
       return;
     }
   }
@@ -450,11 +444,8 @@ Event EventQueue::pop() {
 void EventQueue::maybe_compact() {
   const std::size_t stored = backend_->size();
   if (stored < kCompactionFloor || stored - live_ <= live_) return;
-  stats_.stale_drops += backend_->prune(
-      [](const Event& event, const void* self) {
-        return static_cast<const EventQueue*>(self)->stale(event);
-      },
-      this);
+  stats_.stale_drops +=
+      backend_->prune_stale(generations_.data(), generations_.size());
 }
 
 void EventQueue::clear() {

@@ -1,0 +1,91 @@
+#include "util/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace econcast::util {
+
+const char* to_token(KernelTier tier) noexcept {
+  return tier == KernelTier::kAvx2 ? "avx2" : "scalar";
+}
+
+KernelTier kernel_tier_from_token(const std::string& token) {
+  if (token == "scalar") return KernelTier::kScalar;
+  if (token == "avx2") return KernelTier::kAvx2;
+  throw std::invalid_argument("unknown kernel tier '" + token +
+                              "' (expected 'scalar' or 'avx2')");
+}
+
+bool kernel_tier_supported(KernelTier tier) noexcept {
+  if (tier == KernelTier::kScalar) return true;
+#if ECONCAST_HAVE_AVX2
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+KernelTier best_kernel_tier() noexcept {
+  return kernel_tier_supported(KernelTier::kAvx2) ? KernelTier::kAvx2
+                                                  : KernelTier::kScalar;
+}
+
+namespace {
+
+/// Rejects tiers this process cannot run, naming the tier and the reason.
+KernelTier checked(KernelTier tier) {
+  if (!kernel_tier_supported(tier))
+    throw std::invalid_argument(
+        std::string("kernel tier '") + to_token(tier) +
+#if ECONCAST_HAVE_AVX2
+        "' is not supported by this CPU");
+#else
+        "' is not compiled into this build");
+#endif
+  return tier;
+}
+
+KernelTier initial_tier() {
+  if (const char* env = std::getenv("ECONCAST_KERNELS"))
+    return checked(kernel_tier_from_token(env));
+  return best_kernel_tier();
+}
+
+std::atomic<KernelTier>& tier_slot() {
+  // First use probes cpuid and the environment; a bad ECONCAST_KERNELS
+  // value throws out of the static initializer (and is retried — i.e.
+  // re-thrown — on the next call rather than cached as a broken state).
+  static std::atomic<KernelTier> tier{initial_tier()};
+  return tier;
+}
+
+}  // namespace
+
+KernelTier active_kernel_tier() {
+  return tier_slot().load(std::memory_order_relaxed);
+}
+
+void set_kernel_tier(KernelTier tier) {
+  tier_slot().store(checked(tier), std::memory_order_relaxed);
+}
+
+namespace kernel_detail {
+
+void u01_from_bits_scalar(const std::uint64_t* bits, double* out,
+                          std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<double>(bits[i] >> 11) * 0x1.0p-53;
+}
+
+}  // namespace kernel_detail
+
+void u01_from_bits(const std::uint64_t* bits, double* out, std::size_t n) {
+#if ECONCAST_HAVE_AVX2
+  if (active_kernel_tier() == KernelTier::kAvx2)
+    return kernel_detail::u01_from_bits_avx2(bits, out, n);
+#endif
+  kernel_detail::u01_from_bits_scalar(bits, out, n);
+}
+
+}  // namespace econcast::util

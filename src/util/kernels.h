@@ -1,0 +1,86 @@
+// Vectorized micro-kernel tier with runtime CPU dispatch.
+//
+// The engine-knob playbook (queue_engine, hotpath_engine) applied one level
+// down: the innermost loops the profiler still sees after the PR 6 hot-path
+// overhaul — the u64 -> [0,1) conversion behind every uniform/exponential
+// draw, the calendar queue's (time, seq)-min bucket scans, the stale-event
+// partitions — each exist as a scalar reference implementation and, where
+// the toolchain can build it, an AVX2 implementation. One tier is selected
+// per process (cpuid-probed at first use, overridable), and every kernel is
+// bit-identical across tiers by construction:
+//
+//   * u01_from_bits keeps only exact operations (shift, u64 -> double of a
+//     53-bit value, multiply by the power of two 2^-53), so the SIMD lanes
+//     compute the identical IEEE doubles the scalar loop does.
+//   * The event scans select the minimum of a *strict total order* on
+//     (time, seq) — seq is unique — so any reduction order finds the same
+//     element; comparisons are exact in SIMD.
+//   * The stale partition is a stable keep-order compaction driven by exact
+//     integer compares.
+//
+// The paper tables therefore cannot change with the tier; only wall clock
+// does — CI forces `scalar` against the dispatched build and byte-compares.
+//
+// Tier selection: the first call to active_kernel_tier() probes cpuid and
+// honours the ECONCAST_KERNELS environment variable ("scalar" | "avx2",
+// anything else is a named error); set_kernel_tier() overrides at runtime
+// (the CLI knobs `econcast_sweep --kernels` / bench `--kernels=` go through
+// it). A tier the CPU or build cannot run is rejected with a named error,
+// never silently downgraded.
+#ifndef ECONCAST_UTIL_KERNELS_H
+#define ECONCAST_UTIL_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace econcast::util {
+
+enum class KernelTier : std::uint8_t {
+  kScalar,  // reference implementations; always available
+  kAvx2,    // AVX2 implementations; requires toolchain + cpuid support
+};
+
+/// "scalar" / "avx2" — the wire/CLI token of a tier.
+const char* to_token(KernelTier tier) noexcept;
+
+/// Inverse of to_token. Throws std::invalid_argument (with the offending
+/// token named) for anything else.
+KernelTier kernel_tier_from_token(const std::string& token);
+
+/// True when this build contains the tier's kernels *and* the running CPU
+/// can execute them.
+bool kernel_tier_supported(KernelTier tier) noexcept;
+
+/// The fastest supported tier (what auto-dispatch selects).
+KernelTier best_kernel_tier() noexcept;
+
+/// The tier every dispatched kernel currently runs. Initialized on first
+/// use: ECONCAST_KERNELS if set (a bad or unsupported value is a named
+/// error), else best_kernel_tier().
+KernelTier active_kernel_tier();
+
+/// Overrides the active tier for the whole process. Throws
+/// std::invalid_argument (naming the tier) when the build or CPU cannot run
+/// it. Call before spinning up worker threads; the selection itself is a
+/// relaxed atomic, but kernels already in flight finish on the old tier.
+void set_kernel_tier(KernelTier tier);
+
+/// Converts raw generator outputs to uniform doubles in [0, 1), exactly as
+/// Rng::uniform does one at a time: out[i] = (bits[i] >> 11) * 2^-53. Every
+/// operation is exact, so the result is bit-identical across tiers. `bits`
+/// and `out` must not overlap.
+void u01_from_bits(const std::uint64_t* bits, double* out, std::size_t n);
+
+namespace kernel_detail {
+void u01_from_bits_scalar(const std::uint64_t* bits, double* out,
+                          std::size_t n) noexcept;
+#if ECONCAST_HAVE_AVX2
+void u01_from_bits_avx2(const std::uint64_t* bits, double* out,
+                        std::size_t n) noexcept;
+#endif
+}  // namespace kernel_detail
+
+}  // namespace econcast::util
+
+#endif  // ECONCAST_UTIL_KERNELS_H

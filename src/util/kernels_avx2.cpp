@@ -1,0 +1,56 @@
+// AVX2 tier of the util kernels. This translation unit is compiled with
+// -mavx2 (and nothing else in the module is), so every function here must
+// only be reached through the runtime dispatch in kernels.cpp after a cpuid
+// check. No FMA, no fast-math: each step below is an exact IEEE operation,
+// which is what makes the tier bit-identical to the scalar reference.
+#if ECONCAST_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include "util/kernels.h"
+
+namespace econcast::util::kernel_detail {
+
+// out[i] = (double)(bits[i] >> 11) * 2^-53, vectorized.
+//
+// AVX2 has no u64 -> f64 conversion (that is AVX-512DQ), but the shifted
+// value v < 2^53 splits exactly: v = hi * 2^32 + lo with hi < 2^21 and
+// lo < 2^32.
+//   * OR-ing lo into the mantissa of 2^52 yields the double 2^52 + lo
+//     exactly; subtracting 2^52 recovers lo.
+//   * OR-ing hi into the mantissa of 2^84 yields 2^84 + hi * 2^32 exactly
+//     (the mantissa step at that exponent is 2^32); subtracting
+//     (2^84 + 2^52) gives hi * 2^32 - 2^52, a multiple of 2^32 below 2^53
+//     in magnitude, hence exact.
+//   * Adding the two partials gives hi * 2^32 + lo = v, an integer < 2^53,
+//     hence exact; the final multiply by 2^-53 is a pure exponent shift.
+// Every intermediate is exactly representable, so each lane equals the
+// scalar (double)(v) * 2^-53 bit for bit.
+void u01_from_bits_avx2(const std::uint64_t* bits, double* out,
+                        std::size_t n) noexcept {
+  const __m256i k2p52 = _mm256_castpd_si256(_mm256_set1_pd(0x1.0p52));
+  const __m256i k2p84 = _mm256_castpd_si256(_mm256_set1_pd(0x1.0p84));
+  const __m256d k2p84_2p52 = _mm256_set1_pd(0x1.0p84 + 0x1.0p52);
+  const __m256d k2n53 = _mm256_set1_pd(0x1.0p-53);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bits + i));
+    const __m256i v = _mm256_srli_epi64(x, 11);
+    // lo lanes: low 32 bits of v under the exponent/high dword of 2^52
+    // (blend mask 0xAA replaces every odd 32-bit element, i.e. each
+    // qword's high dword, with 2^52's high dword; 2^52's low dword is 0).
+    const __m256i lo = _mm256_blend_epi32(v, k2p52, 0xAA);
+    const __m256i hi = _mm256_or_si256(_mm256_srli_epi64(v, 32), k2p84);
+    const __m256d hi_part =
+        _mm256_sub_pd(_mm256_castsi256_pd(hi), k2p84_2p52);
+    const __m256d vd = _mm256_add_pd(hi_part, _mm256_castsi256_pd(lo));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(vd, k2n53));
+  }
+  for (; i < n; ++i)
+    out[i] = static_cast<double>(bits[i] >> 11) * 0x1.0p-53;
+}
+
+}  // namespace econcast::util::kernel_detail
+
+#endif  // ECONCAST_HAVE_AVX2

@@ -1,6 +1,10 @@
 #include "util/random.h"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/kernels.h"
 
 namespace econcast::util {
 
@@ -56,39 +60,50 @@ void Xoshiro256::jump() noexcept {
   s_[3] = s3;
 }
 
-double Rng::uniform() noexcept {
-  return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+void Rng::refill() {
+  // Generator outputs in stream order (the recurrence is sequential, so
+  // the batch win here is the tight loop and the single state round-trip),
+  // then the whole block through the dispatched u01 kernel at once. Both
+  // views of the block are kept: uniform() consumes u01_[i], raw-bit draws
+  // consume raw_[i], and one cursor walks them in lockstep so the stream
+  // order is exactly the unbuffered path's.
+  for (std::size_t i = 0; i < block_; ++i) raw_[i] = gen_();
+  u01_from_bits(raw_.data(), u01_.data(), block_);
+  pos_ = 0;
+  fill_ = block_;
 }
 
-double Rng::uniform(double lo, double hi) noexcept {
-  return lo + (hi - lo) * uniform();
-}
-
-double Rng::exponential(double rate) noexcept {
+double Rng::exponential(double rate) {
+  if (!(rate > 0.0) || !std::isfinite(rate))
+    throw std::invalid_argument("exponential rate must be positive and "
+                                "finite, got " +
+                                std::to_string(rate));
   // 1 - uniform() is in (0, 1], so the log argument is never zero.
   return -std::log(1.0 - uniform()) / rate;
 }
 
-bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
-
-std::uint64_t Rng::uniform_int(std::uint64_t n) noexcept {
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
   // Lemire-style rejection sampling for an unbiased result.
   const std::uint64_t threshold = (0 - n) % n;
   for (;;) {
-    const std::uint64_t r = gen_();
+    const std::uint64_t r = next_bits();
     if (r >= threshold) return r % n;
   }
 }
 
-std::uint64_t Rng::geometric_continues(double p_continue) noexcept {
+std::uint64_t Rng::geometric_continues(double p_continue) {
+  if (!(p_continue >= 0.0 && p_continue < 1.0))
+    throw std::invalid_argument("geometric continue-probability must be in "
+                                "[0, 1), got " +
+                                std::to_string(p_continue));
   std::uint64_t count = 0;
   while (bernoulli(p_continue)) ++count;
   return count;
 }
 
-Rng Rng::fork() noexcept {
-  std::uint64_t s = gen_();
-  return Rng(splitmix64_next(s));
+Rng Rng::fork() {
+  std::uint64_t s = next_bits();
+  return Rng(splitmix64_next(s), block_);
 }
 
 }  // namespace econcast::util

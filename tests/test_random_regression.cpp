@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
+#include <stdexcept>
 
 #include "util/random.h"
 
@@ -53,6 +55,97 @@ TEST(RandomRegression, UniformIntKnownSequence) {
   Rng rng(2016);
   const std::uint64_t expected[] = {896, 914, 339, 225, 772, 368};
   for (const std::uint64_t e : expected) EXPECT_EQ(rng.uniform_int(1000), e);
+}
+
+// Block-refill mode must reproduce the unbuffered stream exactly: the same
+// golden constants as above, drawn through the batched path. Any divergence
+// here means the buffered u64→[0,1) conversion or the cursor bookkeeping
+// changed the stream, which would invalidate every recorded experiment.
+TEST(RandomRegression, BlockModeUniformMatchesGolden) {
+  Rng rng(2016, Rng::kDefaultBlock);
+  const double expected[] = {
+      0.15435085426831785, 0.02399478053211157, 0.71414477597667281,
+      0.81788332840388978, 0.63421286443046865, 0.75534069352846545};
+  for (const double e : expected) EXPECT_EQ(rng.uniform(), e);
+}
+
+TEST(RandomRegression, BlockModeExponentialMatchesGolden) {
+  Rng rng(2016, Rng::kDefaultBlock);
+  const double expected[] = {
+      0.33530145350789897, 0.048574689535769246, 2.5045396120766403,
+      3.406215489131978};
+  for (const double e : expected) EXPECT_EQ(rng.exponential(0.5), e);
+}
+
+TEST(RandomRegression, BlockModeUniformIntMatchesGolden) {
+  Rng rng(2016, Rng::kDefaultBlock);
+  const std::uint64_t expected[] = {896, 914, 339, 225, 772, 368};
+  for (const std::uint64_t e : expected) EXPECT_EQ(rng.uniform_int(1000), e);
+}
+
+// Interleaved draws exercise the shared cursor across both buffers (u01 for
+// uniform/exponential, raw bits for uniform_int/fork) and across multiple
+// refills, including odd block sizes that leave partial batches.
+TEST(RandomRegression, BlockModeInterleavedStreamMatchesUnbuffered) {
+  for (const std::size_t block : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{32}, Rng::kDefaultBlock}) {
+    Rng reference(99);
+    Rng batched(99, block);
+    for (int i = 0; i < 1000; ++i) {
+      switch (i % 4) {
+        case 0:
+          EXPECT_EQ(reference.uniform(), batched.uniform()) << "block=" << block;
+          break;
+        case 1:
+          EXPECT_EQ(reference.exponential(2.5), batched.exponential(2.5))
+              << "block=" << block;
+          break;
+        case 2:
+          EXPECT_EQ(reference.uniform_int(12345), batched.uniform_int(12345))
+              << "block=" << block;
+          break;
+        case 3: {
+          Rng fr = reference.fork();
+          Rng fb = batched.fork();
+          EXPECT_EQ(fr.uniform(), fb.uniform()) << "block=" << block;
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(RandomRegression, ForkInheritsBlockModeAndStream) {
+  Rng reference(7);
+  Rng batched(7, Rng::kDefaultBlock);
+  Rng fork_ref = reference.fork();
+  Rng fork_batched = batched.fork();
+  for (int i = 0; i < 600; ++i)
+    EXPECT_EQ(fork_ref.uniform(), fork_batched.uniform());
+}
+
+TEST(RandomRegression, ExponentialRejectsInvalidRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(rng.exponential(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  // A rejected draw must not consume from the stream.
+  Rng pristine(1);
+  EXPECT_EQ(rng.uniform(), pristine.uniform());
+}
+
+TEST(RandomRegression, GeometricContinuesRejectsInvalidProbability) {
+  Rng rng(1);
+  EXPECT_THROW(rng.geometric_continues(-0.1), std::invalid_argument);
+  EXPECT_THROW(rng.geometric_continues(1.0), std::invalid_argument);
+  EXPECT_THROW(rng.geometric_continues(
+                   std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  Rng pristine(1);
+  EXPECT_EQ(rng.uniform(), pristine.uniform());
 }
 
 }  // namespace

@@ -50,6 +50,7 @@
 #include "sim/event_queue.h"
 #include "sim/hotpath.h"
 #include "util/json.h"
+#include "util/kernels.h"
 
 namespace {
 
@@ -65,7 +66,7 @@ enum ExitCode : int {
       stderr,
       "usage: %s <manifest.json> [--results PATH] [--threads N]\n"
       "       [--limit N] [--engine NAME] [--hotpath NAME]\n"
-      "       [--fresh] [--progress] [--quiet]\n"
+      "       [--kernels NAME] [--fresh] [--progress] [--quiet]\n"
       "   or: %s <manifest.json> --dry-run\n"
       "   or: %s <manifest.json> --shard I/K [--worker-id ID] [options]\n"
       "   or: %s <manifest.json> --merge [--shards K] [--results PATH]\n"
@@ -82,6 +83,9 @@ enum ExitCode : int {
       "  --hotpath NAME  simulator hot-path engine for the EconCast\n"
       "                  cells: reference or optimized (results are\n"
       "                  identical; only wall clock changes)\n"
+      "  --kernels NAME  micro-kernel tier for the whole process:\n"
+      "                  scalar or avx2 (default: best the CPU supports;\n"
+      "                  results are identical, only wall clock changes)\n"
       "  --fresh         discard an existing results file first\n"
       "  --progress      print a line per completed cell to stderr\n"
       "  --quiet         suppress the completion summary\n"
@@ -206,6 +210,7 @@ int main(int argc, char** argv) {
   std::string results_path;
   std::string engine;
   std::string hotpath;
+  std::string kernels;
   std::string worker_id;
   std::size_t threads = 0;
   std::size_t limit = 0;
@@ -253,6 +258,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
         usage(argv[0]);
       }
+    } else if (std::strcmp(arg, "--kernels") == 0) {
+      kernels = value();
+      try {
+        (void)econcast::util::kernel_tier_from_token(kernels);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        usage(argv[0]);
+      }
     } else if (std::strcmp(arg, "--fresh") == 0) {
       fresh = true;
     } else if (std::strcmp(arg, "--progress") == 0) {
@@ -279,11 +292,12 @@ int main(int argc, char** argv) {
   if ((dry_run ? 1 : 0) + (sharded ? 1 : 0) + (merge ? 1 : 0) > 1)
     usage(argv[0]);
   if (sharded && (fresh || !results_path.empty())) usage(argv[0]);
-  if (merge && (fresh || limit > 0 || !engine.empty() || !hotpath.empty()))
+  if (merge && (fresh || limit > 0 || !engine.empty() || !hotpath.empty() ||
+                !kernels.empty()))
     usage(argv[0]);
   if (dry_run &&
       (fresh || limit > 0 || !engine.empty() || !hotpath.empty() ||
-       !results_path.empty()))
+       !kernels.empty() || !results_path.empty()))
     usage(argv[0]);
   if (results_path.empty() && !sharded)
     results_path = runner::SweepSession::default_results_path(manifest_path);
@@ -303,6 +317,31 @@ int main(int argc, char** argv) {
   if (dry_run) {
     print_dry_run(manifest_path, manifest);
     return kExitOk;
+  }
+
+  // The kernel tier is process-global (it selects which SIMD tier the
+  // dispatched micro-kernels run; results are tier-independent). The token
+  // was validated at parse time; what can still fail here is hardware or
+  // build support, which is a runtime failure, not a usage error.
+  if (!kernels.empty()) {
+    try {
+      util::set_kernel_tier(util::kernel_tier_from_token(kernels));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "econcast_sweep: --kernels %s: %s\n",
+                   kernels.c_str(), e.what());
+      return kExitRuntime;
+    }
+  } else {
+    // No flag: force the first-use ECONCAST_KERNELS/cpuid resolution now,
+    // so a bad env value fails before the sweep starts instead of throwing
+    // out of a worker mid-run.
+    try {
+      (void)util::active_kernel_tier();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "econcast_sweep: ECONCAST_KERNELS: %s\n",
+                   e.what());
+      return kExitRuntime;
+    }
   }
 
   // Stage 2 — execution. Failures here leave a valid checkpoint behind and

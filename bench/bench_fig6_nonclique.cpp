@@ -49,6 +49,8 @@ int main(int argc, char** argv) {
   // Per-session results stay deterministic regardless of this interleaving.
   std::vector<runner::BatchResult> runs(ks.size());
   std::vector<std::exception_ptr> errors(ks.size());
+  // NOLINT-DETERMINISM(raw-thread): one thread per independent session;
+  // each writes only its own runs[k_i] slot, printed in fixed k order.
   std::vector<std::thread> sessions;
   sessions.reserve(ks.size());
   for (std::size_t k_i = 0; k_i < ks.size(); ++k_i) {
@@ -79,6 +81,7 @@ int main(int argc, char** argv) {
       }
     });
   }
+  // NOLINT-DETERMINISM(raw-thread): joining the session threads above.
   for (std::thread& t : sessions) t.join();
   for (const std::exception_ptr& e : errors)
     if (e) std::rethrow_exception(e);

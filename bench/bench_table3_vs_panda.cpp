@@ -61,8 +61,14 @@ int main(int argc, char** argv) {
       const double panda =
           run.results[sweep.cell_index(kPanda, 0, n_i, p_i)].groupput;
       t.add_row();
-      t.add_cell("(" + std::to_string(node_counts[n_i]) + ", " +
-                 util::format_double(budgets_mw[p_i], 0) + ")");
+      // Built up with += (not nested operator+) to sidestep a GCC 12
+      // -Wrestrict false positive on the char* + std::string&& insert path.
+      std::string cell = "(";
+      cell += std::to_string(node_counts[n_i]);
+      cell += ", ";
+      cell += util::format_double(budgets_mw[p_i], 0);
+      cell += ")";
+      t.add_cell(cell);
       t.add_cell(100.0 * measured / t_sigma, 2);
       t.add_cell(100.0 * panda / t_sigma, 2);
       t.add_cell(measured / panda, 2);

@@ -10,6 +10,8 @@ namespace {
 // Depth of Executor::work_on frames on this thread — covers pool workers AND
 // the submitting thread while it participates in a batch, so nested
 // parallel_for calls from either are detected and run inline.
+// NOLINT-DETERMINISM(thread-local): nesting-depth flag, not RNG or result
+// state — it only routes nested parallel_for calls to the inline path.
 thread_local int t_work_depth = 0;
 
 struct WorkDepthScope {

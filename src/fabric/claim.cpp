@@ -19,7 +19,11 @@ namespace fs = std::filesystem;
 namespace json = util::json;
 
 std::int64_t wall_clock_seconds() {
+  // Heartbeat freshness is operational metadata for the coordinator's lease
+  // decisions; it never reaches a simulation result or a results file.
   return std::chrono::duration_cast<std::chrono::seconds>(
+             // NOLINT-DETERMINISM(wall-clock): lease timestamps only —
+             // merged result bytes are independent of every heartbeat value.
              std::chrono::system_clock::now().time_since_epoch())
       .count();
 }

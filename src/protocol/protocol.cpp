@@ -71,10 +71,10 @@ ProtocolSpec specialized(ProtocolSpec spec, model::Mode mode, double sigma) {
 }
 
 void set_queue_engine(ProtocolSpec& spec, sim::QueueEngine engine) {
-  if (auto* p = std::get_if<EconCastParams>(&spec.params)) {
-    p->config.queue_engine = engine;
-  } else if (auto* p = std::get_if<TestbedParams>(&spec.params)) {
-    p->queue_engine = engine;
+  if (auto* econ = std::get_if<EconCastParams>(&spec.params)) {
+    econ->config.queue_engine = engine;
+  } else if (auto* testbed = std::get_if<TestbedParams>(&spec.params)) {
+    testbed->queue_engine = engine;
   }
 }
 

@@ -22,6 +22,8 @@ ScenarioRunner::ScenarioRunner(RunnerOptions options)
 
 std::size_t ScenarioRunner::effective_threads() const noexcept {
   if (options_.num_threads > 0) return options_.num_threads;
+  // NOLINT-DETERMINISM(raw-thread): reads the core count; results are
+  // bit-identical for any thread count by the executor contract.
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
 }

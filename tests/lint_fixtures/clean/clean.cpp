@@ -1,0 +1,19 @@
+// Clean file: every banned name below appears only where the scanner must
+// ignore it — comments (std::rand, system_clock, thread_local, std::thread,
+// std::unordered_map), string literals, raw strings, or as a fragment of a
+// longer identifier (run_time is not time).
+#include <string>
+
+struct Timer {
+  double value = 0.0;
+  double seconds() const { return value; }
+};
+
+double run_time(const Timer& timer) {
+  const std::string note =
+      "calls std::rand() and time(nullptr) and srand(1) in a string";
+  const char* raw = R"json({"clock": "std::unordered_map<int,int>",
+"note": "steady_clock::now() inside a raw string spanning lines"})json";
+  return timer.seconds() + static_cast<double>(note.size()) +
+         static_cast<double>(std::string(raw).size());
+}

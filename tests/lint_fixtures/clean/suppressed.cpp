@@ -1,0 +1,22 @@
+// Violations carrying valid annotations: zero findings, three suppressions
+// used (block-above, comment-inside-expression, and same-line forms), plus
+// one well-formed annotation that matches nothing and is counted as unused.
+#include <chrono>
+#include <thread>
+
+// NOLINT-DETERMINISM(raw-thread): fixture — exercises the block-above form.
+static std::thread* g_unused_worker = nullptr;
+
+double stamp() {
+  const auto t =
+      // NOLINT-DETERMINISM(wall-clock): fixture — comment inside expression.
+      std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count() +
+         (g_unused_worker == nullptr ? 0.0 : 1.0);
+}
+
+thread_local int t_depth = 0;  // NOLINT-DETERMINISM(thread-local): fixture
+
+// NOLINT-DETERMINISM(unordered-container): fixture — unused (no violation
+// on the next code line).
+int depth() { return t_depth; }

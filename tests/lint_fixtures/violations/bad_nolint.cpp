@@ -1,0 +1,11 @@
+// Seeded violation: malformed annotations must be findings themselves, and
+// must not suppress the construct they sit next to.
+#include <chrono>
+
+// NOLINT-DETERMINISM(wall-clok): typo in the rule name
+static const auto t0 = std::chrono::steady_clock::now();
+
+// NOLINT-DETERMINISM(wall-clock):
+static const auto t1 = std::chrono::steady_clock::now();
+
+double elapsed() { return std::chrono::duration<double>(t1 - t0).count(); }

@@ -1,0 +1,17 @@
+// Seeded violation: ordered containers keyed by pointer value — iteration
+// order follows allocation addresses, which change run to run under ASLR.
+#include <map>
+#include <set>
+
+struct Node {
+  int id;
+};
+
+int count_by_address(const std::map<Node*, int>& weights) {
+  std::set<const Node *> visited;
+  int total = 0;
+  for (const auto& [node, weight] : weights) {
+    if (visited.insert(node).second) total += weight;
+  }
+  return total;
+}

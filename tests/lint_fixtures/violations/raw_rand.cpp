@@ -1,0 +1,10 @@
+// Seeded violation: every form of ambient RNG the raw-rand rule bans.
+#include <cstdlib>
+#include <random>
+
+int ambient_entropy() {
+  srand(7);
+  std::random_device dev;
+  int noise = rand();
+  return noise + static_cast<int>(std::rand()) + static_cast<int>(dev());
+}

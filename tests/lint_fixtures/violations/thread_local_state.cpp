@@ -1,0 +1,8 @@
+// Seeded violation: thread_local state makes a result depend on which
+// worker thread happened to run the task.
+thread_local unsigned long t_rng_state = 0x9E3779B9UL;
+
+unsigned long next_value() {
+  t_rng_state = t_rng_state * 6364136223846793005UL + 1442695040888963407UL;
+  return t_rng_state;
+}

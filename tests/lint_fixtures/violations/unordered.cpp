@@ -1,0 +1,14 @@
+// Seeded violation: hash-table containers whose iteration order is not
+// stable across standard-library versions or runs.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double sum_metrics(const std::unordered_map<std::string, double>& metrics) {
+  std::unordered_set<int> seen;
+  double total = 0.0;
+  for (const auto& [name, value] : metrics) {
+    if (seen.insert(static_cast<int>(name.size())).second) total += value;
+  }
+  return total;
+}

@@ -1,0 +1,12 @@
+// Seeded violation: wall-clock reads in simulation-looking code.
+#include <chrono>
+#include <ctime>
+
+double now_seconds() {
+  const auto tick = std::chrono::system_clock::now();
+  const auto mono = std::chrono::steady_clock::now();
+  const std::time_t unix_now = time(nullptr);
+  return static_cast<double>(unix_now) +
+         std::chrono::duration<double>(tick.time_since_epoch()).count() +
+         std::chrono::duration<double>(mono.time_since_epoch()).count();
+}

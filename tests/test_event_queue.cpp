@@ -168,8 +168,8 @@ TEST_P(EventQueueEngines, FarFutureOutliersDoNotDisturbNearOrder) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, EventQueueEngines,
                          ::testing::ValuesIn(kEngines),
-                         [](const auto& info) {
-                           return info.param == QueueEngine::kCalendar
+                         [](const auto& param_info) {
+                           return param_info.param == QueueEngine::kCalendar
                                       ? std::string("Calendar")
                                       : std::string("BinaryHeap");
                          });

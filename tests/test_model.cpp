@@ -185,8 +185,9 @@ TEST(StateSpace, EnumerationStatesAreValidAndUnique) {
   std::set<std::pair<int, std::uint64_t>> seen;
   for_each_state(n, [&](const NetState& s) {
     // Transmitter never listens to itself.
-    if (s.has_transmitter())
+    if (s.has_transmitter()) {
       EXPECT_EQ(s.listeners & (1ULL << s.transmitter), 0u);
+    }
     EXPECT_LT(s.listeners, 1ULL << n);
     EXPECT_TRUE(seen.emplace(s.transmitter, s.listeners).second);
   });

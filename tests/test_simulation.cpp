@@ -333,8 +333,9 @@ TEST_P(SimulationSweep, ProtocolInvariants) {
   EXPECT_LE(r.groupput, static_cast<double>(n - 1) * r.anyput + 1e-12);
   EXPECT_LE(r.anyput, 1.0);
   // Non-capture never extends bursts.
-  if (p.variant == Variant::kNonCapture && r.bursts > 0)
+  if (p.variant == Variant::kNonCapture && r.bursts > 0) {
     EXPECT_DOUBLE_EQ(r.burst_lengths.max(), 1.0);
+  }
   // Fractions are probabilities.
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_GE(r.listen_fraction[i], 0.0);

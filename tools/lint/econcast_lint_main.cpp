@@ -1,0 +1,13 @@
+// econcast_lint — determinism-ruleset scanner over the EconCast sources.
+// All logic lives in tools/lint/lint.{h,cpp} so tests can assert exact exit
+// codes and output without spawning processes. See lint.h for the contract.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return econcast::lint::run_cli(args, std::cout, std::cerr);
+}

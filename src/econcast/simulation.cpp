@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <type_traits>
+
+#include "util/kernels.h"
 
 namespace econcast::proto {
 
@@ -43,6 +46,7 @@ Simulation::Simulation(model::NodeSet nodes, model::Topology topology,
       energy_(&arena_),
       burst_rx_flag_(sim::ArenaAllocator<std::uint8_t>(&arena_)),
       burst_rx_list_(sim::ArenaAllocator<NodeId>(&arena_)),
+      toggled_scratch_(sim::ArenaAllocator<NodeId>(&arena_)),
       opt_(config_.hotpath_engine == sim::HotpathEngine::kOptimized) {
   model::validate(nodes_);
   if (nodes_.size() != topo_.size())
@@ -80,6 +84,7 @@ Simulation::Simulation(model::NodeSet nodes, model::Topology topology,
   energy_.reserve(n);
   burst_rx_flag_.assign(n, 0);
   burst_rx_list_.reserve(n);
+  toggled_scratch_.reserve(n);
 
   rates_.reserve(n);
   nodes_rt_.reserve(n);
@@ -231,9 +236,23 @@ void Simulation::schedule_transition(NodeId i) {
 }
 
 void Simulation::resample_toggled() {
-  for (const NodeId n : channel_.drain_toggled()) {
-    if (state_[n] != NodeState::kTransmit) schedule_transition(n);
-  }
+  // Filter-then-schedule: the non-transmitting survivors are collected by
+  // the tier-dispatched SoA compaction kernel (util::filter_state_not — the
+  // hot branchy loop this used to be), then re-sampled. schedule_transition
+  // never writes state_, so filtering up front is behavior-identical to
+  // testing each id inline, on every tier (the kernel is stable and exact).
+  const sim::ArenaVector<NodeId>& toggled = channel_.drain_toggled();
+  if (toggled.empty()) return;
+  toggled_scratch_.resize(toggled.size());
+  static_assert(std::is_same_v<NodeId, std::uint32_t>,
+                "filter kernel compacts 32-bit node ids");
+  const std::size_t kept = util::filter_state_not(
+      toggled.data(), toggled.size(),
+      reinterpret_cast<const std::uint8_t*>(state_.data()), state_.size(),
+      static_cast<std::uint8_t>(NodeState::kTransmit),
+      toggled_scratch_.data());
+  for (std::size_t i = 0; i < kept; ++i)
+    schedule_transition(toggled_scratch_[i]);
 }
 
 void Simulation::resample_listening_neighbors_nc(NodeId i) {

@@ -245,6 +245,7 @@ class Simulation {
 
   sim::ArenaVector<std::uint8_t> burst_rx_flag_;  // receivers of current burst
   sim::ArenaVector<sim::NodeId> burst_rx_list_;
+  sim::ArenaVector<sim::NodeId> toggled_scratch_;  // filter_state_not output
   std::uint64_t events_processed_ = 0;
   bool opt_ = true;  // hotpath_engine == kOptimized
 

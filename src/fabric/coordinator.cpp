@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "fabric/claim.h"
+#include "fabric/cost_plan.h"
 #include "fabric/merger.h"
 #include "fabric/shard_plan.h"
 #include "runner/manifest.h"
@@ -60,8 +61,14 @@ Coordinator::SweepStatus Coordinator::pass_manifest(
   const runner::SweepManifest manifest = runner::load_manifest(manifest_path);
   status.total_cells = manifest.spec.cell_count();
   status.plan_pinned = !plan_exists(manifest_path);
+  // Only a plan this pass actually pins pays for cost balancing; an
+  // existing plan.json keeps its bounds regardless (pin_plan contract).
   const ShardPlan plan =
-      pin_plan(manifest_path, status.total_cells, options_.shard_count);
+      status.plan_pinned && !options_.cache_dir.empty()
+          ? pin_plan(manifest_path,
+                     cost_balanced_plan(manifest, options_.shard_count,
+                                        options_.cache_dir))
+          : pin_plan(manifest_path, status.total_cells, options_.shard_count);
   status.shard_count = plan.shard_count();
 
   const std::int64_t now = wall_clock_seconds();

@@ -38,6 +38,12 @@ class Coordinator {
     /// reassignment knob for tests/CI. Size it well above the worst-case
     /// per-cell wall clock (see claim.h).
     std::int64_t lease_seconds = 300;
+    /// When non-empty, plans pinned by this coordinator are cost-balanced
+    /// against this cache directory (see cost_plan.h) instead of
+    /// equal-split: shards carry equal estimated *remaining* cost, cached
+    /// cells counting as zero. Manifests with an already-pinned plan keep
+    /// their pinned bounds either way.
+    std::string cache_dir;
   };
 
   /// Per-manifest status of one pass.

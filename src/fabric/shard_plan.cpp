@@ -13,21 +13,44 @@ namespace fs = std::filesystem;
 namespace json = util::json;
 
 ShardPlan::ShardPlan(std::size_t total_cells, std::size_t shard_count)
-    : total_cells_(total_cells), shard_count_(shard_count) {
+    : total_cells_(total_cells) {
   if (shard_count == 0)
     throw std::invalid_argument("shard plan needs at least one shard");
+  bounds_.resize(shard_count + 1);
+  for (std::size_t i = 0; i <= shard_count; ++i)
+    bounds_[i] = total_cells * i / shard_count;
+}
+
+ShardPlan::ShardPlan(std::size_t total_cells, std::vector<std::size_t> bounds)
+    : total_cells_(total_cells), bounds_(std::move(bounds)) {
+  if (bounds_.size() < 2)
+    throw std::invalid_argument("shard plan needs at least one shard");
+  if (bounds_.front() != 0 || bounds_.back() != total_cells_)
+    throw std::invalid_argument(
+        "shard bounds must run from 0 to the total of " +
+        std::to_string(total_cells_) + " cells");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (bounds_[i] < bounds_[i - 1])
+      throw std::invalid_argument("shard bounds must be non-decreasing");
+}
+
+bool ShardPlan::equal_split() const noexcept {
+  const std::size_t k = shard_count();
+  for (std::size_t i = 0; i <= k; ++i)
+    if (bounds_[i] != total_cells_ * i / k) return false;
+  return true;
 }
 
 ShardRange ShardPlan::shard(std::size_t i) const {
-  if (i >= shard_count_)
+  if (i >= shard_count())
     throw std::out_of_range("shard " + std::to_string(i) +
                             " out of range for a " +
-                            std::to_string(shard_count_) + "-shard plan");
+                            std::to_string(shard_count()) + "-shard plan");
   ShardRange range;
   range.index = i;
-  range.count = shard_count_;
-  range.begin = total_cells_ * i / shard_count_;
-  range.end = total_cells_ * (i + 1) / shard_count_;
+  range.count = shard_count();
+  range.begin = bounds_[i];
+  range.end = bounds_[i + 1];
   return range;
 }
 
@@ -73,30 +96,39 @@ std::string merged_results_path(const std::string& manifest_path) {
   return strip_json_suffix(manifest_path) + ".results.jsonl";
 }
 
-ShardPlan pin_plan(const std::string& manifest_path, std::size_t total_cells,
-                   std::size_t shard_count) {
-  const ShardPlan plan(total_cells, shard_count);
+ShardPlan pin_plan(const std::string& manifest_path, const ShardPlan& plan) {
   const std::string path = plan_path(manifest_path);
   if (fs::exists(path)) {
     const ShardPlan pinned = load_plan(manifest_path);
-    if (pinned.total_cells() != total_cells ||
-        pinned.shard_count() != shard_count)
+    if (pinned.total_cells() != plan.total_cells() ||
+        pinned.shard_count() != plan.shard_count())
       throw std::runtime_error(
           "shard plan '" + path + "' pins " +
           std::to_string(pinned.total_cells()) + " cells / " +
           std::to_string(pinned.shard_count()) + " shards, but " +
-          std::to_string(total_cells) + " cells / " +
-          std::to_string(shard_count) +
+          std::to_string(plan.total_cells()) + " cells / " +
+          std::to_string(plan.shard_count()) +
           " shards were requested; one manifest can only be sharded one "
           "way at a time (remove the fabric directory to replan)");
+    // Same totals but different cut points (e.g. an equal-split worker
+    // joining a cost-balanced plan): the pinned bounds win.
     return pinned;
   }
 
   fs::create_directories(fabric_dir(manifest_path));
   json::Object o;
   o.set("format", "econcast-shard-plan")
-      .set("total_cells", static_cast<double>(total_cells))
-      .set("shards", static_cast<double>(shard_count));
+      .set("total_cells", static_cast<double>(plan.total_cells()))
+      .set("shards", static_cast<double>(plan.shard_count()));
+  if (!plan.equal_split()) {
+    // Only non-default partitions carry explicit bounds; an absent array
+    // means the equal split, keeping plan.json bytes (and older plans on
+    // disk) unchanged for the common case.
+    json::Array bounds;
+    for (const std::size_t b : plan.bounds())
+      bounds.push_back(static_cast<double>(b));
+    o.set("bounds", json::Value(std::move(bounds)));
+  }
   // Temp file + rename: a reader never sees a half-written plan. The name
   // is unique per (pid-free) writer attempt only in that concurrent pinners
   // write identical bytes, so whichever rename lands last is equivalent.
@@ -108,6 +140,11 @@ ShardPlan pin_plan(const std::string& manifest_path, std::size_t total_cells,
   }
   fs::rename(tmp, path);
   return plan;
+}
+
+ShardPlan pin_plan(const std::string& manifest_path, std::size_t total_cells,
+                   std::size_t shard_count) {
+  return pin_plan(manifest_path, ShardPlan(total_cells, shard_count));
 }
 
 ShardPlan load_plan(const std::string& manifest_path) {
@@ -129,8 +166,27 @@ ShardPlan load_plan(const std::string& manifest_path) {
         total != static_cast<double>(static_cast<std::size_t>(total)) ||
         shards != static_cast<double>(static_cast<std::size_t>(shards)))
       throw json::Error("total_cells/shards must be non-negative integers");
-    return ShardPlan(static_cast<std::size_t>(total),
-                     static_cast<std::size_t>(shards));
+    const auto total_cells = static_cast<std::size_t>(total);
+    const auto shard_count = static_cast<std::size_t>(shards);
+    if (const json::Value* bounds_value = v.find("bounds")) {
+      const json::Array& array = bounds_value->as_array();
+      if (array.size() != shard_count + 1)
+        throw json::Error("bounds must have shards+1 entries");
+      std::vector<std::size_t> bounds;
+      bounds.reserve(array.size());
+      for (const json::Value& b : array) {
+        const double d = b.as_number();
+        if (d < 0 || d != static_cast<double>(static_cast<std::size_t>(d)))
+          throw json::Error("bounds must be non-negative integers");
+        bounds.push_back(static_cast<std::size_t>(d));
+      }
+      try {
+        return ShardPlan(total_cells, std::move(bounds));
+      } catch (const std::invalid_argument& e) {
+        throw json::Error(e.what());
+      }
+    }
+    return ShardPlan(total_cells, shard_count);
   } catch (const json::Error& e) {
     throw std::runtime_error("shard plan '" + path + "' is corrupt: " +
                              e.what());

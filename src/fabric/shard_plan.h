@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 namespace econcast::fabric {
 
@@ -37,25 +38,39 @@ struct ShardRange {
   std::size_t size() const noexcept { return end - begin; }
 };
 
-/// The deterministic partition of [0, total_cells) into `shard_count`
-/// contiguous ranges: shard i covers [i*total/k, (i+1)*total/k), so sizes
-/// differ by at most one and the ranges tile the expansion exactly. More
-/// shards than cells is allowed (the surplus shards are empty and trivially
-/// complete).
+/// A deterministic partition of [0, total_cells) into `shard_count`
+/// contiguous ranges. The default partition is the equal split — shard i
+/// covers [i*total/k, (i+1)*total/k), sizes differing by at most one — and
+/// a plan may instead carry explicit bounds (the cost-balanced plans of
+/// cost_plan.h), as long as they tile the expansion exactly. Empty shards
+/// are allowed (over-sharded plans; a balanced plan over a mostly-cached
+/// expansion) and are trivially complete.
 class ShardPlan {
  public:
-  /// Throws std::invalid_argument when shard_count is zero.
+  /// The equal split. Throws std::invalid_argument when shard_count is zero.
   ShardPlan(std::size_t total_cells, std::size_t shard_count);
 
+  /// Explicit bounds: shard i covers [bounds[i], bounds[i+1]), so `bounds`
+  /// has shard_count+1 entries, starts at 0, ends at total_cells and is
+  /// non-decreasing — anything else throws std::invalid_argument.
+  ShardPlan(std::size_t total_cells, std::vector<std::size_t> bounds);
+
   std::size_t total_cells() const noexcept { return total_cells_; }
-  std::size_t shard_count() const noexcept { return shard_count_; }
+  std::size_t shard_count() const noexcept { return bounds_.size() - 1; }
+
+  /// The shard_count+1 cut points (see the bounds constructor).
+  const std::vector<std::size_t>& bounds() const noexcept { return bounds_; }
+
+  /// True when the bounds equal the equal split for this (total, count) —
+  /// such plans serialize without an explicit bounds array.
+  bool equal_split() const noexcept;
 
   /// The range of shard `i`; throws std::out_of_range for i >= shard_count.
   ShardRange shard(std::size_t i) const;
 
  private:
   std::size_t total_cells_ = 0;
-  std::size_t shard_count_ = 0;
+  std::vector<std::size_t> bounds_;  // shard_count()+1 cut points
 };
 
 /// "<manifest path minus trailing .json>.fabric" — the per-manifest
@@ -81,7 +96,12 @@ std::string merged_results_path(const std::string& manifest_path);
 /// a plan already pinned with a different total or shard count throws
 /// std::runtime_error naming the file and both values — one manifest can
 /// only ever be sharded one way at a time. Creates fabric_dir() as needed.
-/// Returns the pinned plan.
+/// Returns the *pinned* plan: when plan.json already exists its bounds win
+/// (even if they differ from the requested plan's), so every worker and the
+/// merger agree on one partition no matter who planned what.
+ShardPlan pin_plan(const std::string& manifest_path, const ShardPlan& plan);
+
+/// pin_plan with the equal-split plan for (total_cells, shard_count).
 ShardPlan pin_plan(const std::string& manifest_path, std::size_t total_cells,
                    std::size_t shard_count);
 

@@ -42,6 +42,12 @@ class Worker {
     /// still merge byte-identically. Validated at session construction.
     std::string queue_engine;
     std::string hotpath_engine;
+    /// Result-cache directory shared across workers (and with plain
+    /// `econcast_sweep --cache` runs); empty = no cache. Cached cells skip
+    /// execution, newly computed cells are published — results-neutral,
+    /// like the engines above. Enables cost-ordered submission within the
+    /// shard (the cache's observed wall clocks calibrate the model).
+    std::string cache_dir;
   };
 
   struct Outcome {

@@ -1,5 +1,6 @@
 #include "runner/scenario_runner.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -47,6 +48,37 @@ BatchResult ScenarioRunner::run(const std::vector<Scenario>& batch) const {
 
 BatchResult ScenarioRunner::run(const std::vector<Scenario>& batch,
                                 std::uint64_t seed_offset) const {
+  std::vector<std::uint64_t> seeds(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    seeds[i] = options_.reseed
+                   ? derive_seed(options_.base_seed, seed_offset + i)
+                   : protocol::effective_seed(batch[i].protocol);
+  return run_with_seeds(batch, seeds);
+}
+
+BatchResult ScenarioRunner::run_with_seeds(
+    const std::vector<Scenario>& batch,
+    const std::vector<std::uint64_t>& seeds,
+    const std::vector<std::size_t>& submit_order) const {
+  if (seeds.size() != batch.size())
+    throw std::invalid_argument(
+        "run_with_seeds: " + std::to_string(seeds.size()) + " seeds for a " +
+        std::to_string(batch.size()) + "-scenario batch");
+  if (!submit_order.empty()) {
+    if (submit_order.size() != batch.size())
+      throw std::invalid_argument(
+          "run_with_seeds: submit order of size " +
+          std::to_string(submit_order.size()) + " for a " +
+          std::to_string(batch.size()) + "-scenario batch");
+    std::vector<bool> seen(batch.size(), false);
+    for (const std::size_t i : submit_order) {
+      if (i >= batch.size() || seen[i])
+        throw std::invalid_argument(
+            "run_with_seeds: submit order is not a permutation of the batch");
+      seen[i] = true;
+    }
+  }
+
   // Validate the whole batch up front so a misconfigured scenario fails with
   // a deterministic, index-attributed error before any work is spawned:
   // topology/node-count mismatches, and protocol resolution (unknown name or
@@ -72,14 +104,21 @@ BatchResult ScenarioRunner::run(const std::vector<Scenario>& batch,
 
   BatchResult out;
   out.results.resize(batch.size());
+  std::vector<double> wall_ms(batch.size(), 0.0);
 
-  const auto task = [&](std::size_t i) {
+  // `k` is the submission index; the scenario it runs is submit_order[k]
+  // (or k itself when no permutation was given). Every write below is
+  // confined to the *original* index i, so the permutation touches only
+  // which worker picks what up when — never any output.
+  const auto task = [&](std::size_t k) {
+    const std::size_t i = submit_order.empty() ? k : submit_order[k];
     const Scenario& s = batch[i];
-    const std::uint64_t seed =
-        options_.reseed ? derive_seed(options_.base_seed, seed_offset + i)
-                        : protocol::effective_seed(s.protocol);
+    // NOLINT-DETERMINISM(wall-clock): telemetry only — the measured wall
+    // clock feeds cost-model calibration and progress ETAs, never results.
+    const auto started = std::chrono::steady_clock::now();
     try {
-      out.results[i] = protocols[i]->make_sim(s.nodes, s.topology, seed)->run();
+      out.results[i] = protocols[i]->make_sim(s.nodes, s.topology,
+                                              seeds[i])->run();
     } catch (const std::invalid_argument& e) {
       // Protocol network-requirement failures (e.g. Panda on a non-clique)
       // surface only at make_sim time; attribute them to the scenario so a
@@ -87,13 +126,19 @@ BatchResult ScenarioRunner::run(const std::vector<Scenario>& batch,
       throw std::invalid_argument("scenario '" + s.name + "' (index " +
                                   std::to_string(i) + "): " + e.what());
     }
+    // NOLINT-DETERMINISM(wall-clock): telemetry only, as above.
+    const auto finished = std::chrono::steady_clock::now();
+    wall_ms[i] =
+        std::chrono::duration<double, std::milli>(finished - started).count();
   };
 
   exec::Executor::ProgressFn progress;
   if (options_.on_scenario_done) {
     progress = [&](const exec::TaskProgress& p) {
+      const std::size_t i =
+          submit_order.empty() ? p.index : submit_order[p.index];
       options_.on_scenario_done(ScenarioProgress{
-          p.index, p.done, p.total, &batch[p.index], &out.results[p.index]});
+          i, p.done, p.total, &batch[i], &out.results[i], wall_ms[i]});
     };
   }
 

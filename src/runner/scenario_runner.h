@@ -78,6 +78,10 @@ struct ScenarioProgress {
   std::size_t total = 0;
   const Scenario* scenario = nullptr;
   const protocol::SimResult* result = nullptr;
+  /// Observed wall clock of this scenario's run, milliseconds. Telemetry
+  /// only (cost-model calibration, ETA display, cache metadata) — it never
+  /// feeds result bytes, which stay a pure function of the spec and seed.
+  double wall_ms = 0.0;
 };
 
 struct RunnerOptions {
@@ -142,6 +146,21 @@ class ScenarioRunner {
   /// exactly the seeds of positions [k, n) of the full batch.
   BatchResult run(const std::vector<Scenario>& batch,
                   std::uint64_t seed_offset) const;
+
+  /// Fully explicit form: scenario i runs with seeds[i] (RunnerOptions
+  /// seeding is bypassed — the caller owns seed derivation), and tasks are
+  /// *submitted* in the order submit_order[0], submit_order[1], ... —
+  /// a permutation of [0, batch size), or empty for submission in index
+  /// order. Results, summaries and every ScenarioProgress field stay keyed
+  /// by the original batch index, so the submission order can never change
+  /// any output — it is purely a makespan knob (see cost_model.h, which
+  /// builds LPT permutations for it). Throws std::invalid_argument when
+  /// seeds/submit_order have the wrong size or submit_order is not a
+  /// permutation.
+  BatchResult run_with_seeds(const std::vector<Scenario>& batch,
+                             const std::vector<std::uint64_t>& seeds,
+                             const std::vector<std::size_t>& submit_order =
+                                 {}) const;
 
   /// Low-level parallel for: invokes fn(i) for every i in [0, n) across the
   /// executor. fn must confine its writes to per-index state. The first

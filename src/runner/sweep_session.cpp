@@ -2,10 +2,13 @@
 
 #include <filesystem>
 #include <fstream>
+#include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "protocol/protocol_json.h"
+#include "runner/cost_model.h"
 #include "sim/event_queue.h"
 #include "sim/hotpath.h"
 
@@ -16,30 +19,42 @@ using util::json::Object;
 using util::json::Value;
 }  // namespace
 
-SweepSession::SweepSession(SweepManifest manifest, std::string results_path,
-                           Options options)
-    : manifest_(std::move(manifest)),
-      results_path_(std::move(results_path)),
-      options_(std::move(options)),
-      batch_(manifest_.spec.expand()) {
-  if (!manifest_.queue_engine.empty()) {
+std::vector<Scenario> expand_with_overrides(const SweepManifest& manifest) {
+  std::vector<Scenario> batch = manifest.spec.expand();
+  if (!manifest.queue_engine.empty()) {
     // Backend override: applied to every cell with a discrete-event kernel.
     // This cannot perturb names, seeds or results (backends pop in the same
     // strict order), so checkpoints written under one engine resume cleanly
     // under the other.
     const sim::QueueEngine engine =
-        sim::queue_engine_from_token(manifest_.queue_engine);
-    for (Scenario& scenario : batch_)
+        sim::queue_engine_from_token(manifest.queue_engine);
+    for (Scenario& scenario : batch)
       protocol::set_queue_engine(scenario.protocol, engine);
   }
-  if (!manifest_.hotpath_engine.empty()) {
+  if (!manifest.hotpath_engine.empty()) {
     // Same contract as the queue override: the hot-path engine can never
     // change results, only how fast the EconCast cells produce them.
     const sim::HotpathEngine engine =
-        sim::hotpath_engine_from_token(manifest_.hotpath_engine);
-    for (Scenario& scenario : batch_)
+        sim::hotpath_engine_from_token(manifest.hotpath_engine);
+    for (Scenario& scenario : batch)
       protocol::set_hotpath_engine(scenario.protocol, engine);
   }
+  return batch;
+}
+
+std::uint64_t manifest_cell_seed(const SweepManifest& manifest,
+                                 const Scenario& cell,
+                                 std::size_t global_index) noexcept {
+  return manifest.reseed ? derive_seed(manifest.base_seed, global_index)
+                         : protocol::effective_seed(cell.protocol);
+}
+
+SweepSession::SweepSession(SweepManifest manifest, std::string results_path,
+                           Options options)
+    : manifest_(std::move(manifest)),
+      results_path_(std::move(results_path)),
+      options_(std::move(options)),
+      batch_(expand_with_overrides(manifest_)) {
   begin_ = options_.cell_begin;
   end_ = options_.cell_end == 0 ? batch_.size() : options_.cell_end;
   if (begin_ > end_ || end_ > batch_.size())
@@ -77,9 +92,7 @@ std::string SweepSession::default_results_path(
 }
 
 std::uint64_t SweepSession::cell_seed(std::size_t global_index) const noexcept {
-  return manifest_.reseed
-             ? derive_seed(manifest_.base_seed, global_index)
-             : protocol::effective_seed(batch_[global_index].protocol);
+  return manifest_cell_seed(manifest_, batch_[global_index], global_index);
 }
 
 std::string SweepSession::record_line(std::size_t global_index,
@@ -143,28 +156,40 @@ std::size_t SweepSession::run(std::size_t limit) {
   if (limit > 0 && limit < todo) todo = limit;
   if (todo == 0) return 0;
 
-  const std::vector<Scenario> pending(
-      batch_.begin() + static_cast<std::ptrdiff_t>(offset),
-      batch_.begin() + static_cast<std::ptrdiff_t>(offset + todo));
-
   std::ofstream out(results_path_, std::ios::binary | std::ios::app);
   if (!out)
     throw std::runtime_error("cannot append to results file '" +
                              results_path_ + "'");
 
-  // Completion-order hook (serialized by the executor): buffer out-of-order
-  // cells, append the ready prefix so the file never has gaps, then report
-  // session-global progress.
-  std::vector<const protocol::SimResult*> ready(todo, nullptr);
-  std::size_t next_flush = 0;
+  // Cache probe pass. Hits park their decoded (and re-validated) results in
+  // `cached` — stable storage, the vector never resizes — and skip the
+  // executor entirely; only the misses in `miss_local` run.
+  std::vector<std::optional<protocol::SimResult>> cached(todo);
+  std::vector<std::size_t> miss_local;  // local (range-relative) indices
+  if (options_.cache) {
+    for (std::size_t local = 0; local < todo; ++local) {
+      const std::size_t g = offset + local;
+      CellCache::Probe probe = options_.cache->probe(batch_[g], cell_seed(g));
+      if (probe.hit)
+        cached[local] = std::move(probe.result);
+      else
+        miss_local.push_back(local);
+    }
+  } else {
+    miss_local.resize(todo);
+    std::iota(miss_local.begin(), miss_local.end(), std::size_t{0});
+  }
 
-  RunnerOptions runner_options;
-  runner_options.num_threads = options_.num_threads;
-  runner_options.base_seed = manifest_.base_seed;
-  runner_options.reseed = manifest_.reseed;
-  runner_options.executor = options_.executor;
-  runner_options.on_scenario_done = [&](const ScenarioProgress& p) {
-    ready[p.index] = p.result;
+  // Completion-order reorder buffer (the hook below is serialized by the
+  // executor): buffer out-of-order cells, append the ready prefix so the
+  // file never has gaps, then report session-global progress. The file
+  // bytes depend only on cell indices — never on where a result came from
+  // (cache or execution) or what order the executor finished in.
+  std::vector<const protocol::SimResult*> ready(todo, nullptr);
+  for (std::size_t local = 0; local < todo; ++local)
+    if (cached[local]) ready[local] = &*cached[local];
+  std::size_t next_flush = 0;
+  const auto flush_ready = [&] {
     while (next_flush < todo && ready[next_flush] != nullptr) {
       completed_.push_back(*ready[next_flush]);
       out << record_line(offset + next_flush, *ready[next_flush]);
@@ -184,8 +209,50 @@ std::size_t SweepSession::run(std::size_t limit) {
     }
   };
 
-  const ScenarioRunner runner(runner_options);
-  runner.run(pending, /*seed_offset=*/offset);
+  // Checkpoint the cached prefix before any execution: if a later miss
+  // throws, every hit already flushed stays on disk.
+  flush_ready();
+
+  if (!miss_local.empty()) {
+    std::vector<Scenario> pending;
+    std::vector<std::uint64_t> seeds;
+    pending.reserve(miss_local.size());
+    seeds.reserve(miss_local.size());
+    for (const std::size_t local : miss_local) {
+      pending.push_back(batch_[offset + local]);
+      seeds.push_back(cell_seed(offset + local));
+    }
+
+    RunnerOptions runner_options;
+    runner_options.num_threads = options_.num_threads;
+    runner_options.executor = options_.executor;
+    runner_options.on_scenario_done = [&](const ScenarioProgress& p) {
+      // p.index is the cell's position in `pending` regardless of the
+      // submission permutation (run_with_seeds keys progress by original
+      // batch index).
+      const std::size_t local = miss_local[p.index];
+      if (options_.cache) {
+        try {
+          options_.cache->publish(batch_[offset + local], seeds[p.index],
+                                  *p.result, p.wall_ms);
+        } catch (const std::exception&) {
+          // The cache is an optimization: a read-only or full cache
+          // directory degrades to recomputing, it never fails the sweep.
+        }
+      }
+      ready[local] = p.result;
+      flush_ready();
+    };
+
+    const ScenarioRunner runner(runner_options);
+    std::vector<std::size_t> order;  // empty = submission in index order
+    if (options_.order == SubmitOrder::kCost && pending.size() > 1) {
+      CostModel model;
+      if (options_.cache) model.calibrate_from_cache(options_.cache->dir());
+      order = cost_submit_order(pending, model, runner.effective_threads());
+    }
+    runner.run_with_seeds(pending, seeds, order);
+  }
   return todo;
 }
 

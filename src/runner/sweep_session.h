@@ -14,22 +14,55 @@
 // complete on executor threads in any order, the hook (serialized) buffers
 // out-of-order completions and appends the ready prefix, so a crash never
 // loses more than the cells still in flight.
+//
+// Two throughput layers sit on top (both output-invisible by construction):
+//  - A content-addressed CellCache (cell_cache.h). Before submitting the
+//    pending range, the session probes every cell; hits are fed straight
+//    into the reorder buffer and only misses run. Completed misses are
+//    published back. A warm rerun therefore executes zero cells while
+//    producing byte-identical results files.
+//  - Cost-model submission order (cost_model.h). With SubmitOrder::kCost the
+//    pending misses are submitted longest-expected-first (LPT), shrinking
+//    the makespan tail where one heavy cell lands last on a busy pool. The
+//    reorder buffer already writes the file in index order no matter what
+//    order cells complete in, which is what makes reordering legal.
 #ifndef ECONCAST_RUNNER_SWEEP_SESSION_H
 #define ECONCAST_RUNNER_SWEEP_SESSION_H
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "runner/cell_cache.h"
 #include "runner/manifest.h"
 #include "runner/scenario_runner.h"
 
 namespace econcast::runner {
 
+/// The manifest's expansion with its queue/hot-path engine overrides applied
+/// to every cell — exactly the cells a SweepSession over this manifest runs,
+/// and therefore exactly the specs its cache keys hash. Fabric planners use
+/// this to derive the same keys a worker's session will.
+std::vector<Scenario> expand_with_overrides(const SweepManifest& manifest);
+
+/// The seed cell `global_index` of the expansion runs with (the cell itself
+/// is needed for the reseed=false case, where its own spec seed applies).
+std::uint64_t manifest_cell_seed(const SweepManifest& manifest,
+                                 const Scenario& cell,
+                                 std::size_t global_index) noexcept;
+
 class SweepSession {
  public:
+  /// Order the pending cells are handed to the executor in. Either way the
+  /// results file is written in cell-index order — this is a makespan knob.
+  enum class SubmitOrder {
+    kExpansion,  // manifest expansion order (index order)
+    kCost,       // longest-expected-first per the calibrated cost model
+  };
+
   struct Options {
     /// Thread cap for the cell batches; 0 = hardware_concurrency.
     std::size_t num_threads = 0;
@@ -50,6 +83,16 @@ class SweepSession {
     /// std::invalid_argument on inverted or out-of-range bounds.
     std::size_t cell_begin = 0;
     std::size_t cell_end = 0;
+    /// Result cache shared with other sessions/processes; null disables
+    /// caching. run() probes it before submitting (hits skip execution
+    /// entirely) and publishes every newly computed cell. The same pointer
+    /// may back many sessions — CellCache keeps per-instance stats, and the
+    /// on-disk directory is multi-process safe.
+    std::shared_ptr<CellCache> cache;
+    /// See SubmitOrder. kCost calibrates a CostModel from the cache
+    /// directory (when a cache is attached) so the ordering improves as
+    /// observed wall clocks accumulate.
+    SubmitOrder order = SubmitOrder::kExpansion;
   };
 
   /// Opens a session: expands the manifest, loads the completed prefix from
@@ -82,6 +125,9 @@ class SweepSession {
   const std::vector<Scenario>& cells() const noexcept { return batch_; }
   const std::string& results_path() const noexcept { return results_path_; }
   const SweepManifest& manifest() const noexcept { return manifest_; }
+  /// The attached result cache (null when caching is off) — exposed so
+  /// callers can report its hit/miss/publish stats after run().
+  CellCache* cache() const noexcept { return options_.cache.get(); }
 
   /// Runs up to `limit` of the remaining cells (0 = all remaining),
   /// appending each completed cell to the results file. Returns the number

@@ -78,6 +78,17 @@ void u01_from_bits_scalar(const std::uint64_t* bits, double* out,
     out[i] = static_cast<double>(bits[i] >> 11) * 0x1.0p-53;
 }
 
+std::size_t filter_state_not_scalar(const std::uint32_t* ids, std::size_t n,
+                                    const std::uint8_t* state,
+                                    std::size_t /*n_state*/,
+                                    std::uint8_t skip,
+                                    std::uint32_t* out) noexcept {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (state[ids[i]] != skip) out[kept++] = ids[i];
+  return kept;
+}
+
 }  // namespace kernel_detail
 
 void u01_from_bits(const std::uint64_t* bits, double* out, std::size_t n) {
@@ -86,6 +97,18 @@ void u01_from_bits(const std::uint64_t* bits, double* out, std::size_t n) {
     return kernel_detail::u01_from_bits_avx2(bits, out, n);
 #endif
   kernel_detail::u01_from_bits_scalar(bits, out, n);
+}
+
+std::size_t filter_state_not(const std::uint32_t* ids, std::size_t n,
+                             const std::uint8_t* state, std::size_t n_state,
+                             std::uint8_t skip, std::uint32_t* out) {
+#if ECONCAST_HAVE_AVX2
+  if (active_kernel_tier() == KernelTier::kAvx2)
+    return kernel_detail::filter_state_not_avx2(ids, n, state, n_state, skip,
+                                                out);
+#endif
+  return kernel_detail::filter_state_not_scalar(ids, n, state, n_state, skip,
+                                                out);
 }
 
 }  // namespace econcast::util

@@ -72,12 +72,32 @@ void set_kernel_tier(KernelTier tier);
 /// and `out` must not overlap.
 void u01_from_bits(const std::uint64_t* bits, double* out, std::size_t n);
 
+/// Stable keep-order compaction of node ids by state byte: copies every id
+/// of ids[0..n) whose state[id] != skip into `out` (relative order
+/// preserved) and returns how many were kept. The simulator's per-toggle
+/// estimator refresh is this filter over the SoA state array — the toggled
+/// list against state != kTransmit. Contract: every id < n_state (< 2^31,
+/// as all NodeIds are), `out` holds at least n entries, and out/ids/state
+/// do not overlap. The kept set and order are a pure function of the
+/// inputs — exact integer compares only — so tiers are bit-identical.
+std::size_t filter_state_not(const std::uint32_t* ids, std::size_t n,
+                             const std::uint8_t* state, std::size_t n_state,
+                             std::uint8_t skip, std::uint32_t* out);
+
 namespace kernel_detail {
 void u01_from_bits_scalar(const std::uint64_t* bits, double* out,
                           std::size_t n) noexcept;
+std::size_t filter_state_not_scalar(const std::uint32_t* ids, std::size_t n,
+                                    const std::uint8_t* state,
+                                    std::size_t n_state, std::uint8_t skip,
+                                    std::uint32_t* out) noexcept;
 #if ECONCAST_HAVE_AVX2
 void u01_from_bits_avx2(const std::uint64_t* bits, double* out,
                         std::size_t n) noexcept;
+std::size_t filter_state_not_avx2(const std::uint32_t* ids, std::size_t n,
+                                  const std::uint8_t* state,
+                                  std::size_t n_state, std::uint8_t skip,
+                                  std::uint32_t* out) noexcept;
 #endif
 }  // namespace kernel_detail
 

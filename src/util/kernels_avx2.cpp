@@ -51,6 +51,73 @@ void u01_from_bits_avx2(const std::uint64_t* bits, double* out,
     out[i] = static_cast<double>(bits[i] >> 11) * 0x1.0p-53;
 }
 
+// Stable compaction of ids whose state byte != skip, 8 lanes at a time:
+// byte-gather the states, compare, then pack the surviving lanes left with
+// a permutation looked up by the 8-bit keep mask. The permutation preserves
+// lane order, the compares are exact integers, and the scalar tail uses the
+// reference loop — so the output is the scalar result byte for byte.
+std::size_t filter_state_not_avx2(const std::uint32_t* ids, std::size_t n,
+                                  const std::uint8_t* state,
+                                  std::size_t n_state, std::uint8_t skip,
+                                  std::uint32_t* out) noexcept {
+  // keep-mask -> lane permutation packing the kept lanes to the front.
+  // Function-local static: built on first call, which is already behind the
+  // cpuid dispatch (this whole TU is -mavx2; nothing here may run at static
+  // initialization time on a CPU that was never probed).
+  struct CompactLut {
+    std::uint32_t perm[256][8];
+    CompactLut() noexcept {
+      for (int m = 0; m < 256; ++m) {
+        int k = 0;
+        for (int b = 0; b < 8; ++b)
+          if (m & (1 << b)) perm[m][k++] = static_cast<std::uint32_t>(b);
+        for (; k < 8; ++k) perm[m][k] = 0;
+      }
+    }
+  };
+  static const CompactLut lut;
+
+  std::size_t kept = 0;
+  std::size_t i = 0;
+  if (n_state >= 4) {
+    // The byte gather loads a full 32-bit word at state + id, so a lane is
+    // only safe when id <= n_state - 4; chunks with a lane beyond that
+    // (ids near the end of the state array) fall back to the scalar loop.
+    // Ids are < 2^31 by contract, so the signed compare is exact.
+    const __m256i limit = _mm256_set1_epi32(static_cast<int>(n_state - 4));
+    const __m256i skip_v = _mm256_set1_epi32(skip);
+    const __m256i byte_mask = _mm256_set1_epi32(0xFF);
+    for (; i + 8 <= n; i += 8) {
+      const __m256i idx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ids + i));
+      if (_mm256_movemask_epi8(_mm256_cmpgt_epi32(idx, limit)) != 0) {
+        for (std::size_t j = i; j < i + 8; ++j)
+          if (state[ids[j]] != skip) out[kept++] = ids[j];
+        continue;
+      }
+      const __m256i word = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(state), idx, 1);
+      const __m256i st = _mm256_and_si256(word, byte_mask);
+      const __m256i eq = _mm256_cmpeq_epi32(st, skip_v);
+      const unsigned keep =
+          ~static_cast<unsigned>(
+              _mm256_movemask_ps(_mm256_castsi256_ps(eq))) &
+          0xFFu;
+      const __m256i perm = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(lut.perm[keep]));
+      // kept <= i here, so the full 8-lane store stays inside out[0..n);
+      // the next iteration (or the popcount bump) only ever overwrites the
+      // lanes beyond the kept count.
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + kept),
+                          _mm256_permutevar8x32_epi32(idx, perm));
+      kept += static_cast<unsigned>(__builtin_popcount(keep));
+    }
+  }
+  for (; i < n; ++i)
+    if (state[ids[i]] != skip) out[kept++] = ids[i];
+  return kept;
+}
+
 }  // namespace econcast::util::kernel_detail
 
 #endif  // ECONCAST_HAVE_AVX2

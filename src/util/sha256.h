@@ -1,0 +1,58 @@
+// Dependency-free SHA-256 (FIPS 180-4) for content-addressed keys.
+//
+// The sweep cache (runner/cell_cache.h) files results under a digest of a
+// canonical-JSON cell key, so the hash must be stable across processes,
+// platforms, library versions and time — which rules out std::hash (its
+// value is explicitly unspecified and may change per libstdc++ release; the
+// determinism lint's raw-hash rule enforces this). SHA-256 gives a fixed,
+// specified function with negligible collision probability at sweep scale,
+// and the implementation below is ~80 lines of plain integer arithmetic:
+// no OpenSSL, no new dependency.
+//
+// This is a content-addressing checksum, not an attempt at cryptographic
+// protection of the cache (anyone who can write the cache directory can
+// write a well-formed entry); tamper *detection* comes from re-validating
+// stored entries against the manifest expansion, the digest only has to be
+// collision-free and stable.
+#ifndef ECONCAST_UTIL_SHA256_H
+#define ECONCAST_UTIL_SHA256_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace econcast::util {
+
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  /// Absorbs `data`; call any number of times before digest().
+  void update(const void* data, std::size_t size) noexcept;
+  void update(std::string_view data) noexcept {
+    update(data.data(), data.size());
+  }
+
+  /// Finalizes and returns the 32-byte digest. Call once; the object is
+  /// spent afterwards (construct a fresh one for the next message).
+  std::array<std::uint8_t, 32> digest() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+/// One-shot digest of `data`, as 64 lowercase hex characters — the form the
+/// cell cache uses for file names. Matches the standard test vectors
+/// (sha256("") = e3b0c442..., covered by tests/test_util.cpp).
+std::string sha256_hex(std::string_view data);
+
+}  // namespace econcast::util
+
+#endif  // ECONCAST_UTIL_SHA256_H

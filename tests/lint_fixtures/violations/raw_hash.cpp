@@ -1,0 +1,13 @@
+// Seeded violation: std::hash and friends are salted / implementation
+// defined, so a persisted or shared cache key built from them changes
+// across processes, library versions, and platforms.
+#include <functional>
+#include <string>
+
+unsigned long cache_slot(const std::string& key) {
+  std::hash<std::string> hasher;
+  unsigned long h = hasher(key);
+  h ^= hash_value(key);
+  h = hash_combine(h, key.size());
+  return h;
+}

@@ -17,6 +17,7 @@
 
 #include "fabric/claim.h"
 #include "fabric/coordinator.h"
+#include "fabric/cost_plan.h"
 #include "fabric/merger.h"
 #include "fabric/shard_plan.h"
 #include "fabric/worker.h"
@@ -143,6 +144,91 @@ TEST(ShardPlan, PinValidatesAndConflicts) {
   // A corrupt plan is reported as corrupt, never half-parsed.
   spit(fabric::plan_path(manifest_path), "{\"format\": \"nope\"}");
   EXPECT_THROW(fabric::load_plan(manifest_path), std::runtime_error);
+}
+
+TEST(ShardPlan, ExplicitBoundsPartitionAndValidate) {
+  const fabric::ShardPlan plan(16, std::vector<std::size_t>{0, 9, 12, 16});
+  EXPECT_EQ(plan.shard_count(), 3u);
+  EXPECT_FALSE(plan.equal_split());
+  EXPECT_EQ(plan.shard(0).begin, 0u);
+  EXPECT_EQ(plan.shard(0).end, 9u);
+  EXPECT_EQ(plan.shard(1).begin, 9u);
+  EXPECT_EQ(plan.shard(1).end, 12u);
+  EXPECT_EQ(plan.shard(2).begin, 12u);
+  EXPECT_EQ(plan.shard(2).end, 16u);
+  // Explicit bounds that happen to be the equal split are recognized as it.
+  EXPECT_TRUE(fabric::ShardPlan(16, std::vector<std::size_t>{0, 5, 10, 16})
+                  .equal_split());
+  // Empty shards are legal; malformed bounds are not.
+  EXPECT_NO_THROW(fabric::ShardPlan(16, std::vector<std::size_t>{0, 16, 16}));
+  EXPECT_THROW(fabric::ShardPlan(16, std::vector<std::size_t>{1, 9, 16}),
+               std::invalid_argument);
+  EXPECT_THROW(fabric::ShardPlan(16, std::vector<std::size_t>{0, 9, 15}),
+               std::invalid_argument);
+  EXPECT_THROW(fabric::ShardPlan(16, std::vector<std::size_t>{0, 9, 5, 16}),
+               std::invalid_argument);
+  EXPECT_THROW(fabric::ShardPlan(16, std::vector<std::size_t>{16}),
+               std::invalid_argument);
+}
+
+TEST(ShardPlan, BoundsRoundTripAndPinnedBoundsWin) {
+  const fs::path dir = test_dir();
+  const std::string manifest_path = (dir / "m.manifest.json").string();
+  const fabric::ShardPlan uneven(16, std::vector<std::size_t>{0, 9, 12, 16});
+  fabric::pin_plan(manifest_path, uneven);
+  EXPECT_EQ(fabric::load_plan(manifest_path).bounds(), uneven.bounds());
+  // An equal-split worker joining later adopts the pinned bounds, and so
+  // does a rival cost-balanced pin with different cuts — one manifest, one
+  // partition.
+  EXPECT_EQ(fabric::pin_plan(manifest_path, 16, 3).bounds(), uneven.bounds());
+  EXPECT_EQ(fabric::pin_plan(manifest_path,
+                             fabric::ShardPlan(
+                                 16, std::vector<std::size_t>{0, 4, 8, 16}))
+                .bounds(),
+            uneven.bounds());
+  // A different shape still conflicts.
+  EXPECT_THROW(fabric::pin_plan(manifest_path, 16, 4), std::runtime_error);
+
+  // Equal-split plans keep the legacy plan.json bytes: no bounds array.
+  const std::string manifest_eq = (dir / "eq.manifest.json").string();
+  fabric::pin_plan(manifest_eq, 16, 3);
+  EXPECT_EQ(slurp(fabric::plan_path(manifest_eq)).find("bounds"),
+            std::string::npos);
+  EXPECT_TRUE(fabric::load_plan(manifest_eq).equal_split());
+}
+
+TEST(ShardPlan, CostBalancedPlanCoversCellsAndZeroesCachedWork) {
+  const runner::SweepManifest manifest = small_manifest();
+
+  // Without a cache the plan is still a valid contiguous 3-way partition.
+  const fabric::ShardPlan plan = fabric::cost_balanced_plan(manifest, 3, "");
+  EXPECT_EQ(plan.total_cells(), 16u);
+  EXPECT_EQ(plan.shard_count(), 3u);
+  EXPECT_EQ(plan.bounds().front(), 0u);
+  EXPECT_EQ(plan.bounds().back(), 16u);
+
+  // With every cell cached the remaining cost is zero and the plan falls
+  // back to the equal split.
+  const fs::path dir = test_dir();
+  const std::string cache_dir = (dir / "cache").string();
+  runner::CellCache cache(cache_dir);
+  const auto cells = runner::expand_with_overrides(manifest);
+  const protocol::SimResult result;
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    cache.publish(cells[i], runner::manifest_cell_seed(manifest, cells[i], i),
+                  result, 1.0);
+  EXPECT_TRUE(
+      fabric::cost_balanced_plan(manifest, 3, cache_dir).equal_split());
+
+  // With everything cached but the last cell, all remaining cost sits in
+  // cell 15: every cut lands at 16 and the first shard owns all the work.
+  fs::remove(cache.entry_path(
+      cache.cell_key(cells[15],
+                     runner::manifest_cell_seed(manifest, cells[15], 15))));
+  const fabric::ShardPlan tail = fabric::cost_balanced_plan(manifest, 3,
+                                                            cache_dir);
+  EXPECT_EQ(tail.bounds(),
+            (std::vector<std::size_t>{0, 16, 16, 16}));
 }
 
 TEST(ShardPlan, CompleteLineCount) {
@@ -580,7 +666,7 @@ TEST(Fabric, CoordinatorLeavesFreshClaimsAlone) {
       fabric::Coordinator((dir / "missing").string(), options).pass(),
       std::runtime_error);
   EXPECT_THROW(fabric::Coordinator(dir.string(),
-                                   fabric::Coordinator::Options{0, 60}),
+                                   fabric::Coordinator::Options{0, 60, {}}),
                std::invalid_argument);
 }
 

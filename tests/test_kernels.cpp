@@ -118,6 +118,51 @@ TEST(U01FromBits, MatchesScalarReferenceOnEveryTier) {
   }
 }
 
+TEST(FilterStateNot, MatchesScalarReferenceOnEveryTier) {
+  TierGuard guard;
+  Rng rng(11);
+  // State-array sizes straddle the gather guard (n_state < 4 forces the
+  // scalar path outright); id counts straddle the 8-lane width (tails of
+  // 0..7). Half the ids are drawn within 4 of the end of the state array so
+  // the per-chunk gather-bounds fallback actually executes.
+  for (const std::size_t n_state :
+       {std::size_t{1}, std::size_t{3}, std::size_t{4}, std::size_t{5},
+        std::size_t{64}, std::size_t{1000}}) {
+    std::vector<std::uint8_t> state(n_state);
+    for (auto& s : state) s = static_cast<std::uint8_t>(rng.uniform_int(3));
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+          std::size_t{9}, std::size_t{64}, std::size_t{131}}) {
+      std::vector<std::uint32_t> ids(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t tail = rng.uniform_int(std::min<std::size_t>(n_state, 4));
+        ids[i] = rng.uniform() < 0.5
+                     ? static_cast<std::uint32_t>(rng.uniform_int(n_state))
+                     : static_cast<std::uint32_t>(n_state - 1 - tail);
+      }
+      for (std::uint8_t skip = 0; skip < 3; ++skip) {
+        std::vector<std::uint32_t> reference(n + 1, 0xDEADBEEFu);
+        const std::size_t ref_kept = kernel_detail::filter_state_not_scalar(
+            ids.data(), n, state.data(), n_state, skip, reference.data());
+        EXPECT_LE(ref_kept, n);
+        for (const KernelTier tier : available_tiers()) {
+          set_kernel_tier(tier);
+          std::vector<std::uint32_t> out(n + 1, 0xDEADBEEFu);
+          const std::size_t kept = filter_state_not(
+              ids.data(), n, state.data(), n_state, skip, out.data());
+          ASSERT_EQ(ref_kept, kept)
+              << "tier=" << to_token(tier) << " n=" << n
+              << " n_state=" << n_state << " skip=" << unsigned{skip};
+          for (std::size_t i = 0; i < kept; ++i)
+            EXPECT_EQ(reference[i], out[i])
+                << "tier=" << to_token(tier) << " n=" << n
+                << " n_state=" << n_state << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
 // Event-array generator for the scan/partition differentials. `mode` selects
 // the adversarial shape; seqs are always unique (the queue's invariant).
 std::vector<Event> make_events(std::size_t n, int mode, std::uint64_t seed) {

@@ -159,6 +159,12 @@ TEST(LintFixtures, ThreadLocalState) {
   EXPECT_EQ(lines_of(r, "thread-local"), (std::vector<std::size_t>{3}));
 }
 
+TEST(LintFixtures, RawHash) {
+  const ScanResult r = scan_fixture("violations/raw_hash.cpp");
+  EXPECT_EQ(r.findings.size(), 3u);
+  EXPECT_EQ(lines_of(r, "raw-hash"), (std::vector<std::size_t>{8, 10, 11}));
+}
+
 TEST(LintFixtures, RawThreads) {
   const ScanResult r = scan_fixture("violations/raw_thread.cpp");
   EXPECT_EQ(r.findings.size(), 5u);
@@ -296,6 +302,7 @@ TEST(LintCli, ExitCodeContract) {
   EXPECT_NE(out.find("[raw-rand]"), std::string::npos);
   EXPECT_NE(out.find("[wall-clock]"), std::string::npos);
   EXPECT_NE(out.find("[raw-thread]"), std::string::npos);
+  EXPECT_NE(out.find("[raw-hash]"), std::string::npos);
 
   // 2: usage — no paths, unknown flag, missing scan path.
   EXPECT_EQ(run_cli({}, &out, &err), 2);

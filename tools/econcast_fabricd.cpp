@@ -40,10 +40,15 @@ enum ExitCode : int {
   std::fprintf(
       stderr,
       "usage: %s <spool-dir> [--shards K] [--lease SEC] [--interval SEC]\n"
-      "       [--once] [--quiet]\n"
+      "       [--cache DIR] [--once] [--quiet]\n"
       "\n"
       "  --shards K      shards per manifest for newly pinned plans\n"
       "                  (default 3; already-pinned plans keep their count)\n"
+      "  --cache DIR     result-cache directory: newly pinned plans are\n"
+      "                  cost-balanced (shards carry equal estimated\n"
+      "                  remaining cost, cached cells count as zero)\n"
+      "                  instead of equal-split; already-pinned plans keep\n"
+      "                  their bounds\n"
       "  --lease SEC     heartbeat lease: a claim this stale is released\n"
       "                  and its shard reassigned (default 300; 0 treats\n"
       "                  every claim as stale — deterministic for CI)\n"
@@ -89,6 +94,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--interval") == 0) {
       if (!parse_u64(value(), parsed)) usage(argv[0]);
       interval_seconds = parsed;
+    } else if (std::strcmp(arg, "--cache") == 0) {
+      options.cache_dir = value();
+      if (options.cache_dir.empty()) usage(argv[0]);
     } else if (std::strcmp(arg, "--once") == 0) {
       once = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {

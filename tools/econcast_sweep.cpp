@@ -33,10 +33,12 @@
 //   3  manifest failure — the file named in the message is unreadable,
 //      unparsable or invalid; retrying cannot succeed
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -46,6 +48,8 @@
 #include "fabric/shard_plan.h"
 #include "fabric/worker.h"
 #include "protocol/protocol_json.h"
+#include "runner/cell_cache.h"
+#include "runner/cost_model.h"
 #include "runner/sweep_session.h"
 #include "sim/event_queue.h"
 #include "sim/hotpath.h"
@@ -61,15 +65,26 @@ enum ExitCode : int {
   kExitManifest = 3,
 };
 
+/// Wall clock for progress rates, ETAs and summary lines. Telemetry only:
+/// no result byte ever depends on it.
+double telemetry_now_s() {
+  using clock = std::chrono::steady_clock;  // NOLINT-DETERMINISM(wall-clock): telemetry display only, never results
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s <manifest.json> [--results PATH] [--threads N]\n"
       "       [--limit N] [--engine NAME] [--hotpath NAME]\n"
-      "       [--kernels NAME] [--fresh] [--progress] [--quiet]\n"
+      "       [--kernels NAME] [--cache DIR|off] [--order NAME]\n"
+      "       [--fresh] [--progress] [--quiet]\n"
       "   or: %s <manifest.json> --dry-run\n"
       "   or: %s <manifest.json> --shard I/K [--worker-id ID] [options]\n"
       "   or: %s <manifest.json> --merge [--shards K] [--results PATH]\n"
+      "   or: %s cache-stats <dir>\n"
+      "   or: %s cache-gc <dir> --max-bytes N\n"
       "\n"
       "  --results PATH  results JSONL (default: manifest path with\n"
       "                  .json replaced by .results.jsonl); with --merge,\n"
@@ -86,6 +101,14 @@ enum ExitCode : int {
       "  --kernels NAME  micro-kernel tier for the whole process:\n"
       "                  scalar or avx2 (default: best the CPU supports;\n"
       "                  results are identical, only wall clock changes)\n"
+      "  --cache DIR     content-addressed result cache: cells already in\n"
+      "                  DIR skip execution, new cells are published; the\n"
+      "                  results file is byte-identical either way\n"
+      "                  ('off', the default, disables caching)\n"
+      "  --order NAME    submission order for pending cells: expansion\n"
+      "                  (default) or cost (longest-expected-first per the\n"
+      "                  calibrated cost model; same results, smaller\n"
+      "                  makespan on skewed sweeps)\n"
       "  --fresh         discard an existing results file first\n"
       "  --progress      print a line per completed cell to stderr\n"
       "  --quiet         suppress the completion summary\n"
@@ -98,10 +121,14 @@ enum ExitCode : int {
       "  --merge         validate + concatenate all shard files into the\n"
       "                  canonical results file\n"
       "  --shards K      shard count for --merge when no plan.json exists\n"
+      "  cache-stats     print entry count, bytes and per-protocol\n"
+      "                  breakdown of a cache directory\n"
+      "  cache-gc        delete oldest entries until the cache directory\n"
+      "                  is within --max-bytes\n"
       "\n"
       "exit codes: 0 ok, 1 runtime failure (retryable), 2 usage,\n"
       "            3 manifest parse/validate failure (fatal)\n",
-      argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(kExitUsage);
 }
 
@@ -201,10 +228,57 @@ void print_dry_run(const std::string& manifest_path,
     std::printf("  hotpath_engine: %s\n", manifest.hotpath_engine.c_str());
 }
 
+int cache_stats_main(int argc, char** argv) {
+  if (argc != 3 || argv[2][0] == '-') usage(argv[0]);
+  const std::string dir = argv[2];
+  const econcast::runner::CellCache::DirStats stats =
+      econcast::runner::CellCache::scan(dir);
+  std::printf("cache %s: %zu entries, %llu bytes\n", dir.c_str(),
+              stats.entries, static_cast<unsigned long long>(stats.bytes));
+  for (const auto& [name, count] : stats.entries_by_protocol)
+    std::printf("  %-14s %zu entries\n", name.c_str(), count);
+  std::printf("recorded compute: %.3f s of cell wall clock\n",
+              stats.total_wall_ms / 1000.0);
+  return kExitOk;
+}
+
+int cache_gc_main(int argc, char** argv) {
+  std::string dir;
+  std::size_t max_bytes = 0;
+  bool have_max = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-bytes") == 0) {
+      if (i + 1 >= argc || !parse_size(argv[++i], max_bytes)) usage(argv[0]);
+      have_max = true;
+    } else if (argv[i][0] == '-' || !dir.empty()) {
+      usage(argv[0]);
+    } else {
+      dir = argv[i];
+    }
+  }
+  if (dir.empty() || !have_max) usage(argv[0]);
+  const econcast::runner::CellCache::GcReport report =
+      econcast::runner::CellCache::gc(dir, max_bytes);
+  std::printf("cache %s: removed %zu of %zu entries (%llu -> %llu bytes)\n",
+              dir.c_str(), report.entries_removed, report.entries_before,
+              static_cast<unsigned long long>(report.bytes_before),
+              static_cast<unsigned long long>(report.bytes_after));
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace econcast;
+
+  if (argc >= 2) {
+    // Cache maintenance subcommands take no manifest; dispatch before flag
+    // parsing.
+    if (std::strcmp(argv[1], "cache-stats") == 0)
+      return cache_stats_main(argc, argv);
+    if (std::strcmp(argv[1], "cache-gc") == 0)
+      return cache_gc_main(argc, argv);
+  }
 
   std::string manifest_path;
   std::string results_path;
@@ -212,6 +286,9 @@ int main(int argc, char** argv) {
   std::string hotpath;
   std::string kernels;
   std::string worker_id;
+  std::string cache_dir;  // empty = caching off
+  bool cost_order = false;
+  bool order_set = false;
   std::size_t threads = 0;
   std::size_t limit = 0;
   std::size_t shard = 0;
@@ -266,6 +343,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
         usage(argv[0]);
       }
+    } else if (std::strcmp(arg, "--cache") == 0) {
+      cache_dir = value();
+      if (cache_dir.empty()) usage(argv[0]);
+      if (cache_dir == "off") cache_dir.clear();
+    } else if (std::strcmp(arg, "--order") == 0) {
+      const char* order = value();
+      if (std::strcmp(order, "cost") == 0)
+        cost_order = true;
+      else if (std::strcmp(order, "expansion") == 0)
+        cost_order = false;
+      else
+        usage(argv[0]);
+      order_set = true;
     } else if (std::strcmp(arg, "--fresh") == 0) {
       fresh = true;
     } else if (std::strcmp(arg, "--progress") == 0) {
@@ -293,11 +383,12 @@ int main(int argc, char** argv) {
     usage(argv[0]);
   if (sharded && (fresh || !results_path.empty())) usage(argv[0]);
   if (merge && (fresh || limit > 0 || !engine.empty() || !hotpath.empty() ||
-                !kernels.empty()))
+                !kernels.empty() || !cache_dir.empty() || order_set))
     usage(argv[0]);
   if (dry_run &&
       (fresh || limit > 0 || !engine.empty() || !hotpath.empty() ||
-       !kernels.empty() || !results_path.empty()))
+       !kernels.empty() || !results_path.empty() || !cache_dir.empty() ||
+       order_set))
     usage(argv[0]);
   if (results_path.empty() && !sharded)
     results_path = runner::SweepSession::default_results_path(manifest_path);
@@ -367,6 +458,7 @@ int main(int argc, char** argv) {
       options.limit = limit;
       options.queue_engine = engine;
       options.hotpath_engine = hotpath;
+      options.cache_dir = cache_dir;
       if (progress) {
         options.on_cell_done = [](const runner::ScenarioProgress& p) {
           std::fprintf(stderr, "[%zu/%zu] cell %zu %s\n", p.done, p.total,
@@ -400,27 +492,77 @@ int main(int argc, char** argv) {
 
     if (fresh) std::remove(results_path.c_str());
 
-    runner::SweepSession::Options options;
-    options.num_threads = threads;
-    if (progress) {
-      options.on_cell_done = [](const runner::ScenarioProgress& p) {
-        std::fprintf(stderr, "[%zu/%zu] %s\n", p.done, p.total,
-                     p.scenario->name.c_str());
-      };
-    }
-
     if (!engine.empty()) manifest.queue_engine = engine;
     if (!hotpath.empty()) manifest.hotpath_engine = hotpath;
 
+    runner::SweepSession::Options options;
+    options.num_threads = threads;
+    if (!cache_dir.empty())
+      options.cache = std::make_shared<runner::CellCache>(cache_dir);
+    options.order = cost_order ? runner::SweepSession::SubmitOrder::kCost
+                               : runner::SweepSession::SubmitOrder::kExpansion;
+    if (progress) {
+      // Cost-model ETA: cells flush in index order, so after cell p.index
+      // the completed work is exactly the expansion prefix [0, p.index] and
+      // prefix sums of the per-cell cost estimates give done/remaining
+      // units directly. The model self-calibrates against this run — ETA =
+      // elapsed × remaining/done units — so no absolute ms-per-unit scale
+      // is needed.
+      struct EtaState {
+        std::vector<double> prefix;  // estimate-unit prefix sums
+        double start_s = 0.0;
+        double first_units = -1.0;  // prefix already done when run started
+        std::size_t cells_this_run = 0;
+      };
+      auto eta = std::make_shared<EtaState>();
+      const std::vector<runner::Scenario> cells =
+          runner::expand_with_overrides(manifest);
+      eta->prefix.resize(cells.size() + 1, 0.0);
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        eta->prefix[i + 1] =
+            eta->prefix[i] + runner::CostModel::estimate_units(cells[i]);
+      eta->start_s = telemetry_now_s();
+      options.on_cell_done = [eta](const runner::ScenarioProgress& p) {
+        if (eta->first_units < 0.0) eta->first_units = eta->prefix[p.index];
+        ++eta->cells_this_run;
+        const double elapsed = telemetry_now_s() - eta->start_s;
+        const double done_units =
+            eta->prefix[p.index + 1] - eta->first_units;
+        const double remaining_units =
+            eta->prefix.back() - eta->prefix[p.index + 1];
+        const double eta_s = done_units > 0.0 && elapsed > 0.0
+                                 ? elapsed * remaining_units / done_units
+                                 : 0.0;
+        const double rate =
+            elapsed > 0.0
+                ? static_cast<double>(eta->cells_this_run) / elapsed
+                : 0.0;
+        std::fprintf(stderr, "[%zu/%zu] %s (%.1f cells/s, ETA %.0fs)\n",
+                     p.done, p.total, p.scenario->name.c_str(), rate, eta_s);
+      };
+    }
+
+    const double started_s = telemetry_now_s();
     runner::SweepSession session(std::move(manifest), results_path, options);
     const std::size_t resumed = session.completed_cells();
     const std::size_t ran = session.run(limit);
+    const double elapsed_s = telemetry_now_s() - started_s;
 
     if (!quiet) {
       std::printf("sweep '%s': %zu/%zu cells complete (%zu resumed, %zu run)\n",
                   session.manifest().spec.name().c_str(),
                   session.completed_cells(), session.cell_count(), resumed,
                   ran);
+      if (ran > 0 && elapsed_s > 0.0)
+        std::printf("throughput: %zu cells in %.2fs (%.1f cells/s)\n", ran,
+                    elapsed_s, static_cast<double>(ran) / elapsed_s);
+      if (session.cache() != nullptr) {
+        const runner::CellCache::Stats& cs = session.cache()->stats();
+        std::printf("cache: %zu hits, %zu misses, %zu rejected, "
+                    "%zu published (%s)\n",
+                    cs.hits, cs.misses, cs.rejected, cs.publishes,
+                    session.cache()->dir().c_str());
+      }
       std::printf("results: %s\n", session.results_path().c_str());
       if (session.complete()) {
         const runner::BatchResult all = session.results();

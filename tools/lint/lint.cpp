@@ -89,6 +89,15 @@ const std::vector<RuleSpec>& rule_specs() {
         {"std::jthread", MatchKind::kExact},
         {"std::async", MatchKind::kExact},
         {"pthread_", MatchKind::kPrefix}}},
+      {"raw-hash",
+       "std::hash (or pointer hashing) where a stable fingerprint is needed",
+       "std::hash is salted/implementation-defined — not stable across "
+       "libstdc++ versions, processes or ASLR — so keys built from it "
+       "cannot be persisted or shared (the result cache would silently "
+       "never hit); content-address with util::sha256 instead",
+       {{"std::hash", MatchKind::kExact},
+        {"hash_value", MatchKind::kCall},
+        {"hash_combine", MatchKind::kCall}}},
       {"nolint",
        "malformed or unknown NOLINT-DETERMINISM annotation",
        "a typo in a suppression must not silently disable a rule",
